@@ -1,0 +1,50 @@
+// A4 — §4.2: the instruction-cache effect of loop fusion.
+//
+// On the Alpha 21064's 8 KB direct-mapped I-cache, the fused ILP loop —
+// whose body spans several separately compiled subsystems — suffers far
+// more instruction misses than the layered passes, eating 24-28 % of the
+// memory-system time and explaining the smaller ILP benefit on the DEC
+// machines.  On the SuperSPARC's 20 KB 5-way I-cache the effect vanishes.
+//
+// This bench replays the synthetic instruction streams on every machine
+// model and reports fetch/miss/cycle counts per implementation.
+#include <cstdio>
+
+#include "platform/estimator.h"
+#include "stats/table.h"
+
+int main() {
+    using namespace ilp;
+    using namespace ilp::platform;
+
+    constexpr std::uint64_t packets = 16;       // one 15 KB file at 1 KB
+    constexpr std::size_t wire_per_packet = 1024;
+
+    std::printf("=== A4: instruction-cache behaviour of fused vs layered "
+                "loops ===\n\n");
+    stats::table table({"machine", "impl", "ifetch lines", "ifetch misses",
+                        "icache cycles", "misses/packet"});
+    for (const machine_model& m : paper_machines()) {
+        for (const impl_kind impl : {impl_kind::ilp, impl_kind::layered}) {
+            const icache_replay_result r = replay_icache(
+                m, impl, cipher_kind::safer_simplified, packets,
+                wire_per_packet);
+            table.row()
+                .cell(m.display)
+                .cell(impl == impl_kind::ilp ? "ILP" : "non-ILP")
+                .cell(r.fetch_lines)
+                .cell(r.misses)
+                .cell(r.cycles)
+                .cell(static_cast<double>(r.misses) /
+                          static_cast<double>(packets),
+                      1);
+        }
+    }
+    table.print();
+    std::printf("\nShape (paper §4.2): on the AXP machines the ILP case"
+                " shows far more I-cache misses than non-ILP (their extra"
+                " memory-system time is 24-28%% of the total); on the"
+                " SPARCstations instruction misses are negligible and"
+                " identical for both implementations.\n");
+    return 0;
+}

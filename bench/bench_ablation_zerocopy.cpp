@@ -1,0 +1,74 @@
+// A6 — §4.1's outlook: zero-copy network adapters raise the ILP benefit.
+//
+// "Using more advanced systems, e.g. zero-copy network adapters [13][14][15]
+// and dedicated operating system support with less system overhead, could
+// raise the benefits from ILP further."
+//
+// With an fbufs-style adapter the system copy at each domain crossing
+// disappears for *both* implementations; what remains is dominated by the
+// data manipulations, where ILP's advantage lives — so the relative gain
+// grows.  This bench runs the standard experiment on the SS10-30 model with
+// the conventional copying adapter and with the zero-copy adapter and
+// compares the gains.
+#include <cstdio>
+
+#include "platform/estimator.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace ilp;
+using namespace ilp::platform;
+
+struct pair_result {
+    double ilp_us = 0;
+    double layered_us = 0;
+
+    double gain_percent() const {
+        return (layered_us - ilp_us) / layered_us * 100.0;
+    }
+};
+
+pair_result run(bool zero_copy) {
+    app::transfer_config config;
+    config.file_bytes = 15 * 1024;
+    config.packet_wire_bytes = 1024;
+    config.zero_copy = zero_copy;
+    const machine_model m = machine("ss10-30");
+    const auto ilp_run =
+        run_experiment(m, impl_kind::ilp, cipher_kind::safer_simplified,
+                       config);
+    const auto lay_run =
+        run_experiment(m, impl_kind::layered, cipher_kind::safer_simplified,
+                       config);
+    return {ilp_run.send_us_per_packet, lay_run.send_us_per_packet};
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== A6: ILP benefit with a conventional vs zero-copy "
+                "adapter (SS10-30, 1 KB, send) ===\n\n");
+    const pair_result copying = run(false);
+    const pair_result zero_copy = run(true);
+
+    stats::table table({"adapter", "non-ILP us", "ILP us", "gain %"});
+    table.row()
+        .cell("copying (system copy)")
+        .cell(copying.layered_us, 0)
+        .cell(copying.ilp_us, 0)
+        .cell(copying.gain_percent(), 1);
+    table.row()
+        .cell("zero-copy (fbufs)")
+        .cell(zero_copy.layered_us, 0)
+        .cell(zero_copy.ilp_us, 0)
+        .cell(zero_copy.gain_percent(), 1);
+    table.print();
+
+    std::printf("\nShape (§4.1): removing the system copy shrinks both"
+                " absolute times by the same amount, so the *relative* ILP"
+                " gain rises (%.1f%% -> %.1f%%) — the paper's argument that"
+                " ILP matters more on advanced communication subsystems.\n",
+                copying.gain_percent(), zero_copy.gain_percent());
+    return zero_copy.gain_percent() > copying.gain_percent() ? 0 : 1;
+}

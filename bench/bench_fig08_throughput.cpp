@@ -1,0 +1,46 @@
+// E3 — Figure 8: ILP and non-ILP transfer throughput for 1 kbyte packets
+// across the seven machine models.
+//
+// Throughput folds in the system-side per-packet overhead (IP, driver, task
+// switches), which is why the relative throughput gain is always smaller
+// than the packet-processing gain (paper §4.1).
+#include <cstdio>
+
+#include "bench/paper_data.h"
+#include "platform/estimator.h"
+#include "stats/table.h"
+
+int main() {
+    using namespace ilp;
+    using namespace ilp::platform;
+
+    std::printf("=== Figure 8: throughput, 1 KB packets (Mbps) ===\n");
+    stats::table table({"machine", "non-ILP", "ILP", "gain %",
+                        "paper non-ILP", "paper ILP", "paper gain %"});
+    for (const machine_model& m : paper_machines()) {
+        const auto ilp_run = run_standard_experiment(
+            m, impl_kind::ilp, cipher_kind::safer_simplified, 1024);
+        const auto lay_run = run_standard_experiment(
+            m, impl_kind::layered, cipher_kind::safer_simplified, 1024);
+        const auto* paper = bench::find_table1(m.name, 1024);
+        table.row()
+            .cell(m.display)
+            .cell(lay_run.throughput_mbps, 2)
+            .cell(ilp_run.throughput_mbps, 2)
+            .cell(stats::percent_gain(lay_run.throughput_mbps,
+                                      ilp_run.throughput_mbps) *
+                      -1.0,  // throughput: higher is better
+                  1)
+            .cell(paper->non_ilp_mbps, 2)
+            .cell(paper->ilp_mbps, 2)
+            .cell((paper->ilp_mbps - paper->non_ilp_mbps) /
+                      paper->non_ilp_mbps * 100.0,
+                  1);
+    }
+    table.print();
+    std::printf("\nShape: ILP throughput beats non-ILP everywhere, but the"
+                " relative improvement is smaller than the packet-processing"
+                " improvement because system operations consume time"
+                " comparable to the data manipulations (paper §4.1).\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+// E5 — Figure 10: packet processing time vs packet size (256..1280 bytes)
+// for the four plotted machines, send and receive, ILP vs non-ILP.
+#include <cstdio>
+
+#include "bench/paper_data.h"
+#include "platform/estimator.h"
+#include "stats/table.h"
+
+int main() {
+    using namespace ilp;
+    using namespace ilp::platform;
+
+    const char* machines[] = {"ss10-30", "ss10-41", "ss20-60", "axp3000-800"};
+    const std::size_t sizes[] = {256, 512, 768, 1024, 1280};
+
+    std::printf("=== Figure 10: packet processing time vs packet size (us) "
+                "===\n");
+    for (const char* name : machines) {
+        const machine_model m = machine(name);
+        std::printf("\n--- %s ---\n", m.display.c_str());
+        stats::table table({"packet B", "ILP send", "ILP recv", "non send",
+                            "non recv", "paper ILP send", "paper ILP recv",
+                            "paper non send", "paper non recv"});
+        for (const std::size_t size : sizes) {
+            const auto ilp_run = run_standard_experiment(
+                m, impl_kind::ilp, cipher_kind::safer_simplified, size);
+            const auto lay_run = run_standard_experiment(
+                m, impl_kind::layered, cipher_kind::safer_simplified, size);
+            const auto* paper = bench::find_table1(m.name, size);
+            table.row()
+                .cell(static_cast<std::uint64_t>(size))
+                .cell(ilp_run.send_us_per_packet, 0)
+                .cell(ilp_run.recv_us_per_packet, 0)
+                .cell(lay_run.send_us_per_packet, 0)
+                .cell(lay_run.recv_us_per_packet, 0)
+                .cell(paper->ilp_send_us, 0)
+                .cell(paper->ilp_recv_us, 0)
+                .cell(paper->non_ilp_send_us, 0)
+                .cell(paper->non_ilp_recv_us, 0);
+        }
+        table.print();
+    }
+    std::printf("\nShape: processing time grows roughly linearly with packet"
+                " size; the ILP/non-ILP gap widens nearly proportionally to"
+                " the packet size (paper §4.1).\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+// The paper's published numbers, transcribed for side-by-side comparison.
+//
+// Every figure bench prints the paper's value next to the reproduction's so
+// the *shape* comparison (who wins, by roughly what factor, where crossovers
+// fall) is visible directly in the bench output.  Absolute values are not
+// expected to match: the substrate here is a calibrated simulator, not the
+// authors' 1995 testbed.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace ilp::bench {
+
+// Annex Table 1: packet processing and throughput of the ILP and non-ILP
+// implementations.  One row per (platform, packet size).
+struct table1_row {
+    std::string_view machine;      // canonical id, matches platform::machine
+    std::size_t packet_bytes;
+    double ilp_mbps;
+    double non_ilp_mbps;
+    double ilp_send_us;
+    double ilp_recv_us;
+    double non_ilp_send_us;
+    double non_ilp_recv_us;
+};
+
+inline constexpr std::array<table1_row, 35> table1{{
+    {"ss10-30", 256, 1.74, 1.58, 128, 118, 124, 141},
+    {"ss10-30", 512, 3.22, 2.58, 187, 176, 201, 228},
+    {"ss10-30", 768, 4.35, 4.15, 260, 263, 289, 280},
+    {"ss10-30", 1024, 5.43, 4.95, 311, 300, 369, 356},
+    {"ss10-30", 1280, 6.02, 4.30, 374, 363, 468, 456},
+    {"ss10-41", 256, 2.34, 2.19, 103, 90, 101, 123},
+    {"ss10-41", 512, 4.35, 3.67, 149, 144, 169, 182},
+    {"ss10-41", 768, 5.53, 5.27, 192, 194, 248, 241},
+    {"ss10-41", 1024, 6.68, 5.95, 248, 249, 315, 312},
+    {"ss10-41", 1280, 8.39, 6.88, 304, 300, 379, 379},
+    {"ss10-51", 256, 3.02, 2.64, 77, 72, 91, 88},
+    {"ss10-51", 512, 5.41, 4.69, 124, 116, 147, 147},
+    {"ss10-51", 768, 7.78, 7.01, 158, 158, 202, 195},
+    {"ss10-51", 1024, 9.23, 8.35, 194, 206, 241, 240},
+    {"ss10-51", 1280, 9.48, 8.65, 239, 248, 301, 310},
+    {"ss20-60", 256, 3.45, 3.26, 65, 61, 82, 79},
+    {"ss20-60", 512, 7.17, 6.52, 98, 96, 112, 110},
+    {"ss20-60", 768, 9.05, 8.09, 130, 141, 159, 155},
+    {"ss20-60", 1024, 10.44, 8.86, 162, 163, 212, 204},
+    {"ss20-60", 1280, 11.66, 9.61, 199, 199, 253, 256},
+    {"axp3000-500", 256, 2.52, 2.53, 100, 73, 103, 73},
+    {"axp3000-500", 512, 4.43, 4.30, 135, 109, 149, 120},
+    {"axp3000-500", 768, 6.07, 5.72, 174, 156, 195, 163},
+    {"axp3000-500", 1024, 7.40, 6.95, 214, 195, 252, 195},
+    {"axp3000-500", 1280, 8.59, 8.07, 252, 227, 302, 237},
+    {"axp3000-600", 256, 2.57, 2.59, 85, 74, 86, 73},
+    {"axp3000-600", 512, 4.36, 4.39, 122, 93, 137, 109},
+    {"axp3000-600", 768, 6.36, 6.12, 146, 127, 162, 140},
+    {"axp3000-600", 1024, 7.83, 7.52, 187, 160, 214, 167},
+    {"axp3000-600", 1280, 8.98, 8.56, 227, 191, 256, 201},
+    {"axp3000-800", 256, 3.51, 3.46, 69, 55, 70, 54},
+    {"axp3000-800", 512, 5.98, 5.90, 100, 85, 107, 80},
+    {"axp3000-800", 768, 8.02, 7.46, 127, 110, 150, 114},
+    {"axp3000-800", 1024, 9.78, 9.30, 164, 139, 189, 151},
+    {"axp3000-800", 1280, 11.44, 10.72, 193, 165, 244, 183},
+}};
+
+// Returns the Table 1 row for (machine, packet size), or nullptr.
+inline const table1_row* find_table1(std::string_view machine,
+                                     std::size_t packet_bytes) {
+    for (const auto& row : table1) {
+        if (row.machine == machine && row.packet_bytes == packet_bytes) {
+            return &row;
+        }
+    }
+    return nullptr;
+}
+
+// Figure 11: packet processing times (us) on the SS10-30 with 1 KB packets
+// for the two encryption functions.
+struct fig11_row {
+    std::string_view cipher;
+    double non_ilp_send_us, ilp_send_us;
+    double non_ilp_recv_us, ilp_recv_us;
+};
+inline constexpr std::array<fig11_row, 2> fig11{{
+    {"simplified SAFER K-64", 366, 313, 355, 299},
+    {"simple (constant-based)", 220, 150, 158, 94},
+}};
+
+// Figure 12: throughput (Mbps, 1 KB messages) of user-level non-ILP / user-
+// level ILP / kernel-TCP paths, per cipher.
+struct fig12_row {
+    std::string_view cipher;
+    double non_ilp_mbps, ilp_mbps, kernel_mbps;
+};
+inline constexpr std::array<fig12_row, 2> fig12{{
+    {"simplified SAFER K-64", 5.1, 5.5, 6.8},
+    {"simple (constant-based)", 6.7, 7.5, 9.7},
+}};
+
+// Figure 13 headline deltas (accesses, in millions, for 10.7 MB of data
+// with the simplified SAFER K-64): ILP saves 13.7e6 4-byte reads and
+// 12.0e6 4-byte writes on the send side (= 55 MB read + 48 MB written
+// less), and 8.4e6 reads + 8.3e6 writes on the receive side (33 MB less).
+inline constexpr double fig13_send_read_delta_m = 13.7;
+inline constexpr double fig13_send_write_delta_m = 12.0;
+inline constexpr double fig13_recv_read_delta_m = 8.4;
+inline constexpr double fig13_recv_write_delta_m = 8.3;
+
+// Figure 14 headline: the receive-side L1-D miss *ratio* rises from 4.7 %
+// (non-ILP) to 18.7 % (ILP) with the simplified SAFER K-64; with the simple
+// cipher ILP instead halves the send-side misses.
+inline constexpr double fig14_recv_ratio_non_ilp = 4.7;
+inline constexpr double fig14_recv_ratio_ilp = 18.7;
+
+// §1 intro experiment: 20-int XDR marshalling + TCP checksum, sequential
+// (70 Mbps) vs integrated (100 Mbps) — "over 40 % gain".
+inline constexpr double intro_sequential_mbps = 70;
+inline constexpr double intro_integrated_mbps = 100;
+
+}  // namespace ilp::bench

@@ -1,0 +1,93 @@
+// Cipher tour: the three ciphers of the evaluation, side by side.
+//
+// Shows what each cipher does to a block, its per-block memory behaviour
+// under the simulator (the paper's "number and size of required memory
+// tables" point), and a quick native speed measurement — the reason the
+// paper had to simplify SAFER K-64 in the first place.
+#include <array>
+#include <chrono>
+#include <cstdio>
+
+#include "buffer/byte_buffer.h"
+#include "crypto/safer_k64.h"
+#include "crypto/safer_simplified.h"
+#include "crypto/simple_cipher.h"
+#include "memsim/configs.h"
+#include "stats/table.h"
+#include "util/hexdump.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ilp;
+
+template <typename Cipher>
+void tour(const char* name, const Cipher& cipher, stats::table& table) {
+    // What one block looks like.
+    alignas(8) std::byte block[8] = {std::byte{'i'}, std::byte{'l'},
+                                     std::byte{'p'}, std::byte{'-'},
+                                     std::byte{'d'}, std::byte{'e'},
+                                     std::byte{'m'}, std::byte{'o'}};
+    const memsim::direct_memory mem;
+    cipher.encrypt_block(mem, block);
+    const std::string ciphertext = to_hex({block, 8});
+    cipher.decrypt_block(mem, block);
+    const bool round_trip = std::memcmp(block, "ilp-demo", 8) == 0;
+
+    // Per-block memory behaviour.
+    memsim::memory_system sys(memsim::test_tiny());
+    memsim::sim_memory sim(sys);
+    cipher.encrypt_block(sim, block);
+    const auto table_reads = sys.data_stats().reads.total_accesses();
+
+    // Native throughput over 4 MB.
+    byte_buffer data(4 * 1024 * 1024);
+    rng r(1);
+    r.fill(data.span());
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t off = 0; off < data.size(); off += 8) {
+        cipher.encrypt_block(mem, data.data() + off);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double mbps = static_cast<double>(data.size()) * 8.0 /
+                        std::chrono::duration<double>(end - start).count() /
+                        1e6;
+
+    table.row()
+        .cell(name)
+        .cell(ciphertext)
+        .cell(round_trip ? "yes" : "NO")
+        .cell(table_reads)
+        .cell(mbps, 0);
+}
+
+}  // namespace
+
+int main() {
+    std::array<std::byte, 8> key{};
+    rng key_rng(0xc0ffee);
+    key_rng.fill(key);
+
+    const crypto::safer_k64 full(key);
+    const crypto::safer_simplified simplified(key);
+    const crypto::simple_cipher simple(key);
+
+    std::printf("=== the evaluation's ciphers ('ilp-demo' encrypted under "
+                "the same key) ===\n\n");
+    stats::table table({"cipher", "ciphertext of 'ilp-demo'", "round-trip",
+                        "mem reads/block", "native Mbps"});
+    tour("SAFER K-64 (6 rounds)", full, table);
+    tour("SAFER K-64 simplified", simplified, table);
+    tour("simple (constants)", simple, table);
+    table.print();
+
+    std::printf("\nWhy it matters (paper §3.1/§4.1): the full cipher's %u"
+                " table+key reads per block drown the ILP gain in cipher"
+                " time; the simplified version keeps one key read and one"
+                " table read per byte — the cache-relevant behaviour — at"
+                " ~100x DES speed; the constant-based cipher touches no"
+                " memory at all, which is what lets ILP halve its miss"
+                " count.\n",
+                6u * 24 + 8);
+    return 0;
+}

@@ -1,0 +1,98 @@
+// ILP applicability tour — the paper's §2.2/§5 decision rules, executable.
+//
+// Walks through the questions an implementor must answer before applying
+// ILP, demonstrating each with live code:
+//
+//   1. Are all fused functions non-ordering-constrained?
+//      (TCP checksum / block ciphers: yes.  CRC-32 / RC4: no.)
+//   2. Is the header size known before the loop runs?
+//      (Fixed-size headers: yes.  Otherwise ILP cannot start.)
+//   3. Do unit sizes mismatch?  Exchange Le = lcm(...) units.
+//   4. Can the header go after the data?  Trailer framing restores
+//      linear-order fusion even for constrained stages.
+#include <cstdio>
+#include <cstring>
+
+#include "buffer/byte_buffer.h"
+#include "checksum/crc32.h"
+#include "checksum/internet_checksum.h"
+#include "core/fused_pipeline.h"
+#include "core/message_plan.h"
+#include "core/stage.h"
+#include "crypto/rc4.h"
+#include "crypto/safer_simplified.h"
+#include "rpc/trailer.h"
+#include "util/alignment.h"
+#include "util/rng.h"
+
+int main() {
+    using namespace ilp;
+
+    std::printf("=== Can my protocol stack use ILP?  (paper §2.2/§5) ===\n\n");
+
+    // ------------------------------------------------------------------
+    std::printf("1. ordering constraints\n");
+    using block_stack = core::fused_pipeline<
+        core::encrypt_stage<crypto::safer_simplified>, core::checksum_tap8>;
+    using crc_stack = core::fused_pipeline<
+        core::encrypt_stage<crypto::safer_simplified>, core::crc32_tap>;
+    using stream_stack = core::fused_pipeline<crypto::rc4_stage>;
+    std::printf("   checksum+block cipher:  ordering_constrained = %s -> "
+                "parts B,C,A allowed\n",
+                block_stack::ordering_constrained ? "true" : "false");
+    std::printf("   CRC-32 in the loop:     ordering_constrained = %s -> "
+                "linear order only\n",
+                crc_stack::ordering_constrained ? "true" : "false");
+    std::printf("   stream cipher (RC4):    ordering_constrained = %s -> "
+                "linear order only\n\n",
+                stream_stack::ordering_constrained ? "true" : "false");
+
+    // ------------------------------------------------------------------
+    std::printf("2. header size must be known before the loop\n");
+    const core::message_plan plan = core::plan_parts(100);
+    std::printf("   a 100-byte marshalled message (4 B enc header) plans as\n"
+                "   B[%zu,%zu) -> C[%zu,%zu) -> A[%zu,%zu), padding %zu B\n\n",
+                plan.part_b.offset, plan.part_b.offset + plan.part_b.len,
+                plan.part_c.offset, plan.part_c.offset + plan.part_c.len,
+                plan.part_a.offset, plan.part_a.offset + plan.part_a.len,
+                plan.padding_bytes);
+
+    // ------------------------------------------------------------------
+    std::printf("3. unit-size mismatch -> exchange Le units\n");
+    std::printf("   marshalling 4 B, encryption 8 B, checksum 2 B, bus 8 B\n"
+                "   Le = lcm(4, 8, 2, 8) = %zu bytes per loop iteration\n",
+                exchange_unit_of(4u, 8u, 2u, 8u));
+    std::printf("   (word filters hand out 4 B words instead: 2 stores per"
+                " cipher block, the §2.2 inefficiency)\n\n");
+
+    // ------------------------------------------------------------------
+    std::printf("4. future work the paper suggests: trailers\n");
+    const char* key_text = "demo-key";
+    crypto::rc4 rc4_enc({reinterpret_cast<const std::byte*>(key_text), 8});
+    byte_buffer body(48);
+    rng r(7);
+    r.fill(body.span());
+
+    core::gather_source body_src;
+    body_src.add(body.span());
+    rpc::trailer_staging staging;
+    const core::gather_source wire_src =
+        rpc::make_trailer_source(body_src, staging);
+
+    crypto::rc4_stage enc_stage(rc4_enc);
+    auto loop = core::make_pipeline(enc_stage);
+    byte_buffer wire(wire_src.total_size());
+    loop.run(memsim::direct_memory{}, wire_src,
+             core::span_dest(wire.span()));
+    std::printf("   with the length in a trailer, even the RC4 stack fused"
+                " linearly:\n   %zu body bytes -> %zu wire bytes, single"
+                " front-to-back loop, no reordering.\n\n",
+                body.size(), wire.size());
+
+    std::printf("Verdict matrix (paper §5): ILP applies when functions are"
+                " non-ordering-constrained\nand header sizes are fixed or"
+                " computable; trailers, fixed headers, separate control\n"
+                "packets and uniform unit sizes all widen its"
+                " applicability.\n");
+    return 0;
+}

@@ -1,0 +1,22 @@
+#include "app/file_transfer.h"
+
+namespace ilp::app {
+
+void file_store::add(std::string name, std::vector<std::byte> contents) {
+    files_[std::move(name)] = std::move(contents);
+}
+
+void file_store::add_random(std::string name, std::size_t bytes,
+                            std::uint64_t seed) {
+    std::vector<std::byte> contents(bytes);
+    rng r(seed);
+    r.fill(contents);
+    add(std::move(name), std::move(contents));
+}
+
+const std::vector<std::byte>* file_store::find(const std::string& name) const {
+    const auto it = files_.find(name);
+    return it == files_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ilp::app

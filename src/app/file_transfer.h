@@ -1,0 +1,362 @@
+// The paper's application: RPC-style bulk file transfer (§3.1).
+//
+// "A client sends a request describing the file to receive, the number of
+// copies of this file to be received, and the maximum length of bytes to
+// receive within a single reply message.  After receiving a file
+// transmission request, the server segments the file into smaller units and
+// sends these units as a set of reply messages back to the client."
+//
+// Topology (all in-process, loop-back, like the paper's measurements):
+//
+//     client ── request link (tcp data ->, acks <-) ──> server
+//     client <── reply link  (tcp data <-, acks ->) ── server
+//
+// Client and server each carry their own memory-access policy so the
+// simulator can attribute send-side and receive-side traffic separately
+// (the paper instruments sending and receiving independently, §4.2).
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/path_counters.h"
+#include "app/receive_path.h"
+#include "app/send_path.h"
+#include "net/datagram.h"
+#include "rpc/messages.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace ilp::app {
+
+// ---------------------------------------------------------------------------
+// Server-side file storage
+
+class file_store {
+public:
+    void add(std::string name, std::vector<std::byte> contents);
+
+    // Adds a deterministic pseudo-random file (workload generator).
+    void add_random(std::string name, std::size_t bytes, std::uint64_t seed);
+
+    const std::vector<std::byte>* find(const std::string& name) const;
+
+private:
+    std::map<std::string, std::vector<std::byte>> files_;
+};
+
+// ---------------------------------------------------------------------------
+// Server
+
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
+class file_server {
+public:
+    file_server(const Mem& mem, const Cipher& cipher, virtual_clock& clock,
+                net::duplex_link& request_link, net::duplex_link& reply_link,
+                const tcp::connection_config& request_cfg,
+                const tcp::connection_config& reply_cfg, path_mode mode,
+                const file_store& store)
+        : mem_(mem),
+          cipher_(&cipher),
+          mode_(mode),
+          store_(&store),
+          request_rx_(mem, clock, request_link.reverse(), request_cfg),
+          reply_tx_(mem, clock, reply_link.forward(), reply_cfg),
+          workspace_(net::datagram_pipe::max_packet_bytes),
+          request_staging_(net::datagram_pipe::max_packet_bytes) {
+        request_link.forward().set_receiver(
+            [this](std::span<const std::byte> p) { request_rx_.on_packet(p); });
+        reply_link.reverse().set_receiver(
+            [this](std::span<const std::byte> p) {
+                reply_tx_.on_ack_packet(p);
+                pump();  // freed window: continue segmenting
+            });
+        request_rx_.set_processor([this](std::span<std::byte> payload) {
+            return receive_request(mode_, mem_, *cipher_, payload,
+                                   request_staging_.span(), rx_counters_);
+        });
+        request_rx_.set_accept_handler(
+            [this](std::size_t wire_len) { on_request(wire_len); });
+    }
+
+    // Makes forward progress on pending reply streams; idempotent, called
+    // from the run loop and from the ACK handler.
+    void pump() {
+        while (!jobs_.empty()) {
+            if (!send_next_reply(jobs_.front())) return;  // blocked or done
+            if (jobs_.front().finished) jobs_.pop_front();
+        }
+    }
+
+    bool idle() const {
+        return jobs_.empty() && reply_tx_.idle() && !reply_tx_.failed();
+    }
+    bool failed() const { return reply_tx_.failed(); }
+
+    const path_counters& send_counters() const noexcept { return tx_counters_; }
+    const path_counters& request_counters() const noexcept {
+        return rx_counters_;
+    }
+    const tcp::sender_stats& reply_tcp_stats() const {
+        return reply_tx_.stats();
+    }
+    const tcp::receiver_stats& request_tcp_stats() const {
+        return request_rx_.stats();
+    }
+    std::uint64_t requests_served() const noexcept { return requests_served_; }
+    std::uint64_t requests_rejected() const noexcept {
+        return requests_rejected_;
+    }
+
+private:
+    struct reply_job {
+        rpc::file_request request;
+        const std::vector<std::byte>* file = nullptr;
+        std::uint32_t copy = 0;
+        std::size_t offset = 0;
+        bool finished = false;
+    };
+
+    void on_request(std::size_t wire_len) {
+        const auto request =
+            rpc::unmarshal_request(request_staging_.subspan(0, wire_len));
+        if (!request.has_value() || request->copy_count == 0 ||
+            request->max_reply_payload == 0) {
+            ++requests_rejected_;
+            return;
+        }
+        const std::vector<std::byte>* file = store_->find(request->filename);
+        if (file == nullptr) {
+            ++requests_rejected_;
+            return;
+        }
+        ++requests_served_;
+        jobs_.push_back(reply_job{*request, file, 0, 0, false});
+        pump();
+    }
+
+    // Sends the next segment of `job`; returns false when TCP is out of
+    // buffer/window space (retry later) or the job just finished.
+    bool send_next_reply(reply_job& job) {
+        const std::size_t remaining = job.file->size() - job.offset;
+        const std::size_t payload_len = std::min<std::size_t>(
+            remaining, job.request.max_reply_payload);
+
+        rpc::reply_header header;
+        header.request_id = job.request.request_id;
+        header.copy_index = job.copy;
+        header.offset = static_cast<std::uint32_t>(job.offset);
+        header.total_bytes = static_cast<std::uint32_t>(job.file->size());
+
+        rpc::reply_staging staging;
+        const core::gather_source src = rpc::make_reply_source(
+            header, {job.file->data() + job.offset, payload_len}, staging);
+        const rpc::reply_layout layout = rpc::layout_reply(payload_len);
+
+        if (!send_message(mode_, reply_tx_, mem_, *cipher_, src, layout.plan,
+                          workspace_, tx_counters_)) {
+            return false;  // delayed until buffer space is available (§3.2.2)
+        }
+        tx_counters_.payload_bytes += payload_len;
+
+        job.offset += payload_len;
+        if (job.offset >= job.file->size()) {
+            job.offset = 0;
+            if (++job.copy >= job.request.copy_count) job.finished = true;
+        }
+        return true;
+    }
+
+    Mem mem_;
+    const Cipher* cipher_;
+    path_mode mode_;
+    const file_store* store_;
+    tcp::tcp_receiver<Mem> request_rx_;
+    tcp::tcp_sender<Mem> reply_tx_;
+    send_workspace workspace_;
+    byte_buffer request_staging_;
+    std::deque<reply_job> jobs_;
+    path_counters tx_counters_;
+    path_counters rx_counters_;
+    std::uint64_t requests_served_ = 0;
+    std::uint64_t requests_rejected_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Client
+
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
+class file_client {
+public:
+    file_client(const Mem& mem, const Cipher& cipher, virtual_clock& clock,
+                net::duplex_link& request_link, net::duplex_link& reply_link,
+                const tcp::connection_config& request_cfg,
+                const tcp::connection_config& reply_cfg, path_mode mode)
+        : mem_(mem),
+          cipher_(&cipher),
+          mode_(mode),
+          request_tx_(mem, clock, request_link.forward(), request_cfg),
+          reply_rx_(mem, clock, reply_link.reverse(), reply_cfg),
+          workspace_(net::datagram_pipe::max_packet_bytes) {
+        request_link.reverse().set_receiver(
+            [this](std::span<const std::byte> p) {
+                request_tx_.on_ack_packet(p);
+            });
+        reply_link.forward().set_receiver(
+            [this](std::span<const std::byte> p) { reply_rx_.on_packet(p); });
+        reply_rx_.set_processor([this](std::span<std::byte> payload) {
+            return process_reply(payload);
+        });
+        reply_rx_.set_accept_handler([this](std::size_t) { commit_reply(); });
+    }
+
+    // Sends the file request; returns false if it could not be queued.
+    bool request_file(const rpc::file_request& request) {
+        alignas(8) std::byte wire[1024];
+        const auto wire_len = rpc::marshal_request(request, wire);
+        if (!wire_len.has_value()) return false;
+
+        // The request's wire image is already marshalled (control-plane);
+        // the data path encrypts and checksums it.
+        core::gather_source src;
+        src.add({wire, *wire_len});
+        const core::message_plan plan = core::plan_parts(
+            rpc::validate_enc_header(load_be32(wire), *wire_len).value());
+        if (!send_message(mode_, request_tx_, mem_, *cipher_, src, plan,
+                          workspace_, tx_counters_)) {
+            return false;
+        }
+        state_.request = request;
+        state_.active = true;
+        state_.total_known = false;
+        state_.buffers.clear();
+        state_.received.assign(request.copy_count, 0);
+        state_.completed_replies.assign(request.copy_count, 0);
+        return true;
+    }
+
+    bool done() const {
+        if (!state_.active || !state_.total_known) return false;
+        for (std::uint32_t c = 0; c < state_.request.copy_count; ++c) {
+            if (state_.received[c] < state_.total) return false;
+            if (state_.completed_replies[c] == 0) return false;
+        }
+        return true;
+    }
+
+    bool failed() const { return request_tx_.failed(); }
+
+    // The reassembled file contents of one received copy.
+    std::span<const std::byte> copy_data(std::uint32_t copy) const {
+        ILP_EXPECT(copy < state_.buffers.size());
+        return {state_.buffers[copy].data(), state_.total};
+    }
+
+    std::uint64_t bytes_received() const noexcept {
+        std::uint64_t sum = 0;
+        for (const auto b : state_.received) sum += b;
+        return sum;
+    }
+
+    const path_counters& receive_counters() const noexcept {
+        return rx_counters_;
+    }
+    const path_counters& request_send_counters() const noexcept {
+        return tx_counters_;
+    }
+    const tcp::receiver_stats& reply_tcp_stats() const {
+        return reply_rx_.stats();
+    }
+    const tcp::sender_stats& request_tcp_stats() const {
+        return request_tx_.stats();
+    }
+
+private:
+    struct transfer_state {
+        rpc::file_request request;
+        bool active = false;
+        bool total_known = false;
+        std::size_t total = 0;
+        std::vector<std::vector<std::byte>> buffers;
+        std::vector<std::size_t> received;
+        std::vector<std::uint32_t> completed_replies;  // replies reaching EOF
+    };
+
+    tcp::rx_process_result process_reply(std::span<std::byte> payload) {
+        const auto resolve = [this](const rpc::reply_header& h,
+                                    std::size_t payload_bytes)
+            -> std::span<std::byte> {
+            if (!state_.active || h.request_id != state_.request.request_id ||
+                h.copy_index >= state_.request.copy_count) {
+                return {};
+            }
+            if (!state_.total_known) {
+                state_.total = h.total_bytes;
+                state_.total_known = true;
+                state_.buffers.assign(state_.request.copy_count,
+                                      std::vector<std::byte>(state_.total));
+            }
+            if (h.total_bytes != state_.total ||
+                h.offset + payload_bytes > state_.total) {
+                return {};
+            }
+            if (payload_bytes == 0) {
+                // Empty file: a zero-length reply still signals completion.
+                return {};
+            }
+            return {state_.buffers[h.copy_index].data() + h.offset,
+                    payload_bytes};
+        };
+
+        rpc::reply_header header;
+        tcp::rx_process_result result;
+        const std::uint64_t payload_before = rx_counters_.payload_bytes;
+        if (mode_ == path_mode::ilp) {
+            result = receive_reply_ilp(mem_, *cipher_, payload, resolve,
+                                       &header, rx_counters_);
+        } else {
+            result = receive_reply_layered(mem_, *cipher_, payload, resolve,
+                                           &header, rx_counters_);
+        }
+        // Remember what this reply would contribute; it is committed only if
+        // TCP's final stage accepts the segment.
+        if (result.ok) {
+            pending_header_ = header;
+            pending_payload_bytes_ = static_cast<std::size_t>(
+                rx_counters_.payload_bytes - payload_before);
+            pending_valid_ = true;
+        } else {
+            pending_valid_ = false;
+        }
+        return result;
+    }
+
+    // Final-stage commit: TCP accepted the segment carrying the pending
+    // reply.
+    void commit_reply() {
+        if (!pending_valid_) return;
+        const rpc::reply_header& h = pending_header_;
+        state_.received[h.copy_index] += pending_payload_bytes_;
+        if (h.offset + pending_payload_bytes_ >= state_.total) {
+            ++state_.completed_replies[h.copy_index];
+        }
+        pending_valid_ = false;
+    }
+    Mem mem_;
+    const Cipher* cipher_;
+    path_mode mode_;
+    tcp::tcp_sender<Mem> request_tx_;
+    tcp::tcp_receiver<Mem> reply_rx_;
+    send_workspace workspace_;
+    transfer_state state_;
+    rpc::reply_header pending_header_;
+    std::size_t pending_payload_bytes_ = 0;
+    bool pending_valid_ = false;
+    path_counters tx_counters_;
+    path_counters rx_counters_;
+};
+
+}  // namespace ilp::app

@@ -1,0 +1,162 @@
+// Experiment harness: wires a client and a server together over loop-back
+// links and drives one complete file transfer on the virtual clock.
+//
+// This is the unit every benchmark runs: the paper's measurements transmit
+// "a 15 kbyte file with varying message sizes ... several times from a
+// server (sender) to a client (receiver) on the same machine using UDP in
+// loop back mode" (§4.1).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "app/file_transfer.h"
+#include "memsim/memory_system.h"
+
+namespace ilp::app {
+
+struct transfer_config {
+    path_mode mode = path_mode::ilp;
+    std::size_t file_bytes = 15 * 1024;
+    std::uint32_t copies = 1;
+    // Target TPDU payload size (the experiments' "packet size" axis); the
+    // reply payload is chosen as the largest that fits.
+    std::size_t packet_wire_bytes = 1024;
+    sim_time link_latency_us = 100;
+    net::fault_config forward_faults{};
+    net::fault_config reverse_faults{};
+    std::uint64_t file_seed = 0x11aa;
+    std::uint64_t key_seed = 0x22bb;
+    sim_time deadline_us = 120'000'000;
+    sim_time poll_step_us = 200;
+    // Zero-copy adapter model (fbufs); see tcp::connection_config.
+    bool zero_copy = false;
+};
+
+struct transfer_result {
+    bool completed = false;
+    bool verified = false;  // received copies byte-identical to the file
+    sim_time elapsed_us = 0;
+    std::uint64_t payload_bytes_delivered = 0;
+    std::uint64_t reply_messages = 0;
+    path_counters server_send;    // the paper's "send" side
+    path_counters client_receive;  // the paper's "receive" side
+    tcp::sender_stats reply_tcp_sender;
+    tcp::receiver_stats reply_tcp_receiver;
+    net::pipe_stats reply_pipe;
+    net::pipe_stats reply_ack_pipe;
+
+    // Application-level throughput in Mbps (payload bits over virtual time),
+    // the quantity Figures 8/9/12 report.
+    double throughput_mbps() const {
+        if (elapsed_us == 0) return 0.0;
+        return static_cast<double>(payload_bytes_delivered) * 8.0 /
+               static_cast<double>(elapsed_us);
+    }
+};
+
+// Runs one transfer with the given memory policies (one per side — e.g. two
+// sim_memory instances over distinct memory systems, or two direct_memory).
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
+transfer_result run_transfer(const transfer_config& config,
+                             const Mem& client_mem, const Mem& server_mem,
+                             const Cipher& client_cipher,
+                             const Cipher& server_cipher) {
+    virtual_clock clock;
+    net::duplex_link request_link(clock, config.link_latency_us);
+    net::duplex_link reply_link(clock, config.link_latency_us,
+                                config.forward_faults, config.reverse_faults);
+
+    tcp::connection_config request_cfg;
+    request_cfg.local_port = 5001;
+    request_cfg.remote_port = 5002;
+    request_cfg.zero_copy = config.zero_copy;
+    tcp::connection_config reply_cfg;
+    reply_cfg.zero_copy = config.zero_copy;
+    reply_cfg.local_port = 6001;
+    reply_cfg.remote_port = 6002;
+    reply_cfg.local_addr = 0x0a000002;  // server
+    reply_cfg.remote_addr = 0x0a000001;
+
+    file_store store;
+    store.add_random("testfile", config.file_bytes, config.file_seed);
+
+    file_server<Mem, Cipher> server(server_mem, server_cipher, clock,
+                                    request_link, reply_link,
+                                    tcp::mirrored(request_cfg), reply_cfg,
+                                    config.mode, store);
+    file_client<Mem, Cipher> client(client_mem, client_cipher, clock,
+                                    request_link, reply_link, request_cfg,
+                                    tcp::mirrored(reply_cfg), config.mode);
+
+    rpc::file_request request;
+    request.request_id = 7;
+    request.filename = "testfile";
+    request.copy_count = config.copies;
+    request.max_reply_payload = static_cast<std::uint32_t>(
+        rpc::max_payload_for_wire(config.packet_wire_bytes));
+
+    transfer_result result;
+    if (request.max_reply_payload == 0) return result;
+    if (!client.request_file(request)) return result;
+
+    const sim_time start = clock.now();
+    while (!client.done() && !client.failed() && !server.failed() &&
+           clock.now() - start < config.deadline_us) {
+        server.pump();
+        clock.advance(config.poll_step_us);
+    }
+    result.completed = client.done();
+    result.elapsed_us = clock.now() - start;
+    result.payload_bytes_delivered = client.bytes_received();
+    result.server_send = server.send_counters();
+    result.client_receive = client.receive_counters();
+    result.reply_tcp_sender = server.reply_tcp_stats();
+    result.reply_tcp_receiver = client.reply_tcp_stats();
+    result.reply_pipe = reply_link.forward().stats();
+    result.reply_ack_pipe = reply_link.reverse().stats();
+    result.reply_messages = result.client_receive.messages;
+
+    if (result.completed) {
+        result.verified = true;
+        const std::vector<std::byte>* original = store.find("testfile");
+        for (std::uint32_t c = 0; c < config.copies; ++c) {
+            const auto received = client.copy_data(c);
+            if (received.size() != original->size() ||
+                (original->size() > 0 &&
+                 std::memcmp(received.data(), original->data(),
+                             original->size()) != 0)) {
+                result.verified = false;
+            }
+        }
+    }
+    return result;
+}
+
+// Convenience for native runs: both sides use raw memory.
+template <crypto::block_cipher Cipher>
+transfer_result run_transfer_native(const transfer_config& config) {
+    std::array<std::byte, 8> key;
+    rng key_rng(config.key_seed);
+    key_rng.fill(key);
+    const Cipher cipher{std::span<const std::byte>(key)};
+    return run_transfer(config, memsim::direct_memory{},
+                        memsim::direct_memory{}, cipher, cipher);
+}
+
+// Convenience for simulator runs: client and server each stream their
+// accesses into their own memory system (send side vs. receive side, as the
+// paper's §4.2 analysis separates them).
+template <crypto::block_cipher Cipher>
+transfer_result run_transfer_simulated(const transfer_config& config,
+                                       memsim::memory_system& client_sys,
+                                       memsim::memory_system& server_sys) {
+    std::array<std::byte, 8> key;
+    rng key_rng(config.key_seed);
+    key_rng.fill(key);
+    const Cipher cipher{std::span<const std::byte>(key)};
+    return run_transfer(config, memsim::sim_memory(client_sys),
+                        memsim::sim_memory(server_sys), cipher, cipher);
+}
+
+}  // namespace ilp::app

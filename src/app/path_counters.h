@@ -1,0 +1,49 @@
+// Per-side accounting of what the data paths did.
+//
+// The platform timing models (src/platform) convert these counters plus the
+// simulated memory-system cycles into per-packet processing times, and the
+// figure benches report them directly (e.g. Fig. 13's access counts come
+// from the memory simulator, while the pass structure recorded here explains
+// them).
+#pragma once
+
+#include <cstdint>
+
+namespace ilp::app {
+
+enum class path_mode {
+    ilp,      // fused loop (marshal+encrypt+checksum in the copy)
+    layered,  // one pass per protocol function (conventional implementation)
+};
+
+struct path_counters {
+    std::uint64_t messages = 0;
+    std::uint64_t payload_bytes = 0;  // application payload carried
+    std::uint64_t wire_bytes = 0;     // encrypted wire bytes produced/consumed
+
+    // Pass accounting (bytes that flowed through each kind of pass).
+    std::uint64_t fused_loop_bytes = 0;     // ILP loop traffic
+    std::uint64_t marshal_pass_bytes = 0;   // standalone (un)marshal pass
+    std::uint64_t cipher_pass_bytes = 0;    // standalone en/decrypt pass
+    std::uint64_t checksum_pass_bytes = 0;  // standalone checksum pass
+    std::uint64_t copy_pass_bytes = 0;      // tcp_send / delivery copies
+
+    // Bytes that went through the cipher at all (fused or not) — drives the
+    // per-byte cipher ALU cost in the timing model.
+    std::uint64_t cipher_bytes = 0;
+
+    path_counters& operator+=(const path_counters& other) noexcept {
+        messages += other.messages;
+        payload_bytes += other.payload_bytes;
+        wire_bytes += other.wire_bytes;
+        fused_loop_bytes += other.fused_loop_bytes;
+        marshal_pass_bytes += other.marshal_pass_bytes;
+        cipher_pass_bytes += other.cipher_pass_bytes;
+        checksum_pass_bytes += other.checksum_pass_bytes;
+        copy_pass_bytes += other.copy_pass_bytes;
+        cipher_bytes += other.cipher_bytes;
+        return *this;
+    }
+};
+
+}  // namespace ilp::app

@@ -1,0 +1,61 @@
+// Owning, 8-byte-aligned byte buffer.
+//
+// All packet staging areas in the stack use byte_buffer so that encryption
+// units (8 bytes), marshalling units (4 bytes) and checksum units (2 bytes)
+// start on their natural alignment, and so the simulated cache model sees
+// stable, realistic heap addresses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "util/contracts.h"
+
+namespace ilp {
+
+class byte_buffer {
+public:
+    byte_buffer() = default;
+
+    explicit byte_buffer(std::size_t size) : size_(size) {
+        if (size_ > 0) {
+            data_.reset(new (std::align_val_t{alignment}) std::byte[size_]());
+        }
+    }
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    std::byte* data() noexcept { return data_.get(); }
+    const std::byte* data() const noexcept { return data_.get(); }
+
+    std::span<std::byte> span() noexcept { return {data_.get(), size_}; }
+    std::span<const std::byte> span() const noexcept {
+        return {data_.get(), size_};
+    }
+
+    std::span<std::byte> subspan(std::size_t offset, std::size_t count) {
+        ILP_EXPECT(offset + count <= size_);
+        return {data_.get() + offset, count};
+    }
+    std::span<const std::byte> subspan(std::size_t offset,
+                                       std::size_t count) const {
+        ILP_EXPECT(offset + count <= size_);
+        return {data_.get() + offset, count};
+    }
+
+    static constexpr std::size_t alignment = 8;
+
+private:
+    struct aligned_delete {
+        void operator()(std::byte* p) const noexcept {
+            ::operator delete[](p, std::align_val_t{alignment});
+        }
+    };
+
+    std::unique_ptr<std::byte[], aligned_delete> data_;
+    std::size_t size_ = 0;
+};
+
+}  // namespace ilp

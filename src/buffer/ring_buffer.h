@@ -1,0 +1,78 @@
+// Byte ring buffer backing the TCP retransmission queue.
+//
+// The paper's ILP send loop writes manipulated data directly into this ring
+// ("TCP uses a ring buffer, to which the data is transferred during the ILP
+// loop"; §3.2.2), so the ring exposes *wrap-aware reservations*: a writer
+// asks for n bytes and receives at most two contiguous spans it may fill
+// before committing.  Readers (segment transmission, retransmission) peek at
+// arbitrary offsets from the unacknowledged front the same way.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "buffer/byte_buffer.h"
+
+namespace ilp {
+
+// Up to two contiguous pieces of ring storage (second is empty unless the
+// range wraps around the end of the backing buffer).
+struct ring_span {
+    std::span<std::byte> first;
+    std::span<std::byte> second;
+
+    std::size_t size() const noexcept { return first.size() + second.size(); }
+};
+
+struct const_ring_span {
+    std::span<const std::byte> first;
+    std::span<const std::byte> second;
+
+    std::size_t size() const noexcept { return first.size() + second.size(); }
+};
+
+class ring_buffer {
+public:
+    explicit ring_buffer(std::size_t capacity);
+
+    std::size_t capacity() const noexcept { return storage_.size(); }
+    std::size_t size() const noexcept { return size_; }
+    std::size_t free_space() const noexcept { return capacity() - size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    // Reserves n bytes of writable space after the current content; the
+    // reservation is only made permanent by commit().  n must fit in
+    // free_space().  Calling reserve again before commit re-issues the same
+    // space.
+    ring_span reserve(std::size_t n);
+
+    // Publishes the first n bytes of the most recent reservation.
+    void commit(std::size_t n);
+
+    // Copies `data` into the ring (reserve + memcpy + commit).
+    void push(std::span<const std::byte> data);
+
+    // Read-only view of n bytes starting `offset` bytes after the front.
+    const_ring_span peek(std::size_t offset, std::size_t n) const;
+
+    // Copies n bytes starting at `offset` into `out` (out.size() >= n).
+    void copy_out(std::size_t offset, std::span<std::byte> out) const;
+
+    // Drops n bytes from the front (acknowledged data).
+    void release(std::size_t n);
+
+    void clear();
+
+    // Offset inside the backing storage where the next reserved byte lands;
+    // the ILP loop uses it to know where its destination pointer wraps.
+    std::size_t write_index() const noexcept {
+        return (front_ + size_) % capacity();
+    }
+
+private:
+    byte_buffer storage_;
+    std::size_t front_ = 0;  // index of oldest byte
+    std::size_t size_ = 0;   // bytes currently stored
+};
+
+}  // namespace ilp

@@ -1,0 +1,58 @@
+// Adler-32 checksum (RFC 1950).
+//
+// A second ordering-constrained integrity function (the running B sum
+// depends on byte order), included to exercise the pipeline's
+// ordering-constraint machinery with more than one example and as an
+// alternative application-level checksum in the examples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "memsim/mem_policy.h"
+
+namespace ilp::checksum {
+
+class adler32 {
+public:
+    template <memsim::memory_policy Mem>
+    void update(const Mem& mem, std::span<const std::byte> data) {
+        std::uint32_t a = state_ & 0xffffu;
+        std::uint32_t b = state_ >> 16;
+        const std::byte* p = data.data();
+        std::size_t n = data.size();
+        std::size_t i = 0;
+        while (n > 0) {
+            // Process in blocks small enough that a and b cannot overflow
+            // before the modulo.
+            const std::size_t block = std::min<std::size_t>(n, 5552);
+            for (std::size_t k = 0; k < block; ++k) {
+                a += mem.load_u8(p + i + k);
+                b += a;
+            }
+            a %= 65521u;
+            b %= 65521u;
+            i += block;
+            n -= block;
+        }
+        state_ = (b << 16) | a;
+    }
+
+    void update(std::span<const std::byte> data) {
+        update(memsim::direct_memory{}, data);
+    }
+
+    std::uint32_t value() const noexcept { return state_; }
+    void reset() noexcept { state_ = 1; }
+
+private:
+    std::uint32_t state_ = 1;
+};
+
+inline std::uint32_t adler32_of(std::span<const std::byte> data) {
+    adler32 sum;
+    sum.update(data);
+    return sum.value();
+}
+
+}  // namespace ilp::checksum

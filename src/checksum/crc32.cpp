@@ -1,0 +1,40 @@
+#include "checksum/crc32.h"
+
+namespace ilp::checksum {
+
+namespace {
+
+// Table generated at static-initialization time from the reflected
+// polynomial 0xEDB88320.
+struct crc_table {
+    std::array<std::uint32_t, 256> entries;
+
+    crc_table() {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
+            entries[i] = c;
+        }
+    }
+};
+
+const crc_table& table() {
+    static const crc_table t;
+    return t;
+}
+
+}  // namespace
+
+const std::byte* crc32::table_bytes() noexcept {
+    return reinterpret_cast<const std::byte*>(table().entries.data());
+}
+
+std::uint32_t crc32_of(std::span<const std::byte> data) {
+    crc32 crc;
+    crc.update(data);
+    return crc.value();
+}
+
+}  // namespace ilp::checksum

@@ -1,0 +1,72 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected, table-driven).
+//
+// CRC is the paper's example of an *ordering-constrained* data manipulation
+// (§2.2): each step depends on the running remainder, so bytes must be
+// processed strictly in serial order.  The ILP pipeline's stage traits mark
+// it ordering-constrained and refuse to fuse it out of order; it exists here
+// both as that counter-example and as a real integrity option for the
+// file-transfer application.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "memsim/mem_policy.h"
+
+namespace ilp::checksum {
+
+class crc32 {
+public:
+    // Appends bytes through a memory-access policy; the 256-entry lookup
+    // table is itself memory and its reads are counted, because table
+    // pressure is exactly the cache effect the paper analyses for
+    // table-driven manipulations (§4.2).
+    template <memsim::memory_policy Mem>
+    void update(const Mem& mem, std::span<const std::byte> data) {
+        std::uint32_t crc = state_;
+        const std::byte* p = data.data();
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const std::uint8_t v = mem.load_u8(p + i);
+            const std::size_t index = (crc ^ v) & 0xffu;
+            const std::uint32_t entry = mem.load_u32(table_bytes() + index * 4);
+            crc = (crc >> 8) ^ entry;
+        }
+        state_ = crc;
+    }
+
+    void update(std::span<const std::byte> data) {
+        update(memsim::direct_memory{}, data);
+    }
+
+    // Fused-loop entry point: `scratch` holds register-resident bytes, so the
+    // data reads are free; only the table lookups go through the policy.
+    template <memsim::memory_policy Mem>
+    void update_scratch(const Mem& mem, const std::byte* scratch,
+                        std::size_t n) {
+        std::uint32_t crc = state_;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint8_t v = std::to_integer<std::uint8_t>(scratch[i]);
+            const std::size_t index = (crc ^ v) & 0xffu;
+            const std::uint32_t entry = mem.load_u32(table_bytes() + index * 4);
+            crc = (crc >> 8) ^ entry;
+        }
+        state_ = crc;
+    }
+
+    std::uint32_t value() const noexcept { return ~state_; }
+
+    void reset() noexcept { state_ = 0xffffffffu; }
+
+    // The lookup table viewed as raw bytes (host endianness), so accesses go
+    // through the memory policy like any other table.
+    static const std::byte* table_bytes() noexcept;
+
+private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+// One-shot CRC-32 of a byte range.
+std::uint32_t crc32_of(std::span<const std::byte> data);
+
+}  // namespace ilp::checksum

@@ -1,0 +1,150 @@
+// RFC 1071 Internet (one's-complement) checksum.
+//
+// The checksum is the paper's canonical *non-ordering-constrained* data
+// manipulation (§2.2): 16-bit one's-complement addition is commutative and
+// associative, so words can be summed in any order and in any width.  That
+// is what makes it fusable into the ILP loop, and what lets the loop feed it
+// 8-byte units that are already in registers (add_register_u64) instead of
+// re-reading memory in 2-byte units.
+//
+// The accumulator tracks byte parity so data may be appended in arbitrary
+// chunk sizes, including odd ones, and still produce the standard result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "memsim/mem_policy.h"
+#include "util/contracts.h"
+#include "util/endian.h"
+
+namespace ilp::checksum {
+
+class inet_accumulator {
+public:
+    // Appends one byte.
+    ILP_ALWAYS_INLINE void add_byte(std::uint8_t b) noexcept {
+        if (odd_) {
+            sum_ += b;  // low half of the current 16-bit word
+        } else {
+            sum_ += static_cast<std::uint32_t>(b) << 8;
+        }
+        odd_ = !odd_;
+    }
+
+    // Appends a 16-bit word given in big-endian (wire) value form.  Only
+    // valid at even parity.
+    ILP_ALWAYS_INLINE void add_be16(std::uint16_t v) noexcept {
+        ILP_EXPECT(!odd_);
+        sum_ += v;
+    }
+
+    // Appends 4/8 bytes whose *memory-order* byte sequence is packed in a
+    // host-endian register value, as produced by Mem::load_u32/load_u64.
+    // This is the fused-loop entry point: the bytes never touch memory
+    // again.  Only valid at even parity.
+    ILP_ALWAYS_INLINE void add_register_u32(std::uint32_t v) noexcept {
+        ILP_EXPECT(!odd_);
+        // Convert the register image to the big-endian word sequence the
+        // checksum is defined over.
+        const std::uint32_t be = host_to_be32(v);
+        sum_ += be >> 16;
+        sum_ += be & 0xffffu;
+    }
+
+    ILP_ALWAYS_INLINE void add_register_u64(std::uint64_t v) noexcept {
+        ILP_EXPECT(!odd_);
+        const std::uint64_t be =
+            host_is_little_endian() ? byteswap64(v) : v;
+        sum_ += (be >> 48) & 0xffffu;
+        sum_ += (be >> 32) & 0xffffu;
+        sum_ += (be >> 16) & 0xffffu;
+        sum_ += be & 0xffffu;
+    }
+
+    // Appends a byte range through a memory-access policy, reading in the
+    // given unit width (2, 4 or 8 bytes per load).  This is the classical
+    // standalone checksum pass of the non-ILP implementation; the width
+    // variants exist because the paper's unit-size analysis (§2.2) hinges on
+    // how many discrete memory operations a pass issues.
+    template <memsim::memory_policy Mem>
+    void add_bytes(const Mem& mem, std::span<const std::byte> data,
+                   std::size_t unit_width = 2) {
+        const std::byte* p = data.data();
+        std::size_t n = data.size();
+        // Align to even parity first.
+        if (odd_ && n > 0) {
+            add_byte(mem.load_u8(p));
+            ++p;
+            --n;
+        }
+        switch (unit_width) {
+            case 8:
+                for (; n >= 8; n -= 8, p += 8) add_register_u64(mem.load_u64(p));
+                [[fallthrough]];
+            case 4:
+                for (; n >= 4; n -= 4, p += 4) add_register_u32(mem.load_u32(p));
+                [[fallthrough]];
+            case 2:
+                for (; n >= 2; n -= 2, p += 2) {
+                    const std::uint16_t v = mem.load_u16(p);
+                    add_be16(host_is_little_endian() ? byteswap16(v) : v);
+                }
+                break;
+            default:
+                ILP_EXPECT(false && "unit_width must be 2, 4 or 8");
+        }
+        for (; n > 0; --n, ++p) add_byte(mem.load_u8(p));
+    }
+
+    bool odd() const noexcept { return odd_; }
+
+    // Folds the accumulator to the 16-bit one's-complement sum (not yet
+    // complemented).
+    std::uint16_t folded() const noexcept {
+        std::uint64_t s = sum_;
+        while (s >> 16) s = (s & 0xffffu) + (s >> 16);
+        return static_cast<std::uint16_t>(s);
+    }
+
+    // Final checksum value as it appears on the wire (one's complement of
+    // the folded sum).
+    std::uint16_t finish() const noexcept {
+        return static_cast<std::uint16_t>(~folded());
+    }
+
+private:
+    std::uint64_t sum_ = 0;
+    bool odd_ = false;
+};
+
+// Incremental update (RFC 1624): given a wire checksum field value and one
+// 16-bit word of the covered data changing from `old_word` to `new_word`,
+// returns the new checksum field value without re-summing the packet.
+// HC' = ~(~HC + ~m + m').
+inline std::uint16_t inet_checksum_update(std::uint16_t checksum_field,
+                                          std::uint16_t old_word,
+                                          std::uint16_t new_word) noexcept {
+    std::uint32_t sum = static_cast<std::uint16_t>(~checksum_field);
+    sum += static_cast<std::uint16_t>(~old_word);
+    sum += new_word;
+    while (sum >> 16) sum = (sum & 0xffffu) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+// One-shot convenience over a span (2-byte units, direct memory).
+inline std::uint16_t inet_checksum(std::span<const std::byte> data) {
+    inet_accumulator acc;
+    acc.add_bytes(memsim::direct_memory{}, data, 2);
+    return acc.finish();
+}
+
+// Verifies data that *includes* its checksum field: the folded sum over the
+// whole range must be 0xffff.
+inline bool inet_checksum_ok(std::span<const std::byte> data) {
+    inet_accumulator acc;
+    acc.add_bytes(memsim::direct_memory{}, data, 2);
+    return acc.folded() == 0xffff;
+}
+
+}  // namespace ilp::checksum

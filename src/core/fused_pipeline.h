@@ -1,0 +1,127 @@
+// The ILP loop: compile-time fusion of data-manipulation stages.
+//
+// `fused_pipeline<Stages...>` is the paper's integrated processing loop
+// (Fig. 1): each iteration reads one exchanged unit of Le bytes from the
+// source into scratch (registers), runs every stage on it sub-unit by
+// sub-unit, and writes it once to the destination.  Le is computed at
+// compile time as lcm(Ls, L1, ..., Ln) from the stage unit sizes, with
+// Ls = 8 modelling a 64-bit memory path (§2.2: "Le should also be chosen
+// large enough to utilize the hardware architecture efficiently").
+//
+// Stage calls are statically dispatched and force-inlined — the modern form
+// of the paper's macro expansion (§3.2.1: replacing macros with function
+// calls "results in the loss of all performance benefits gained by ILP");
+// dynamic_pipeline.h keeps the function-call variant for that ablation.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+#include <utility>
+
+#include "core/gather.h"
+#include "core/stage.h"
+#include "memsim/mem_policy.h"
+#include "util/alignment.h"
+#include "util/contracts.h"
+
+namespace ilp::core {
+
+template <data_stage... Stages>
+class fused_pipeline {
+public:
+    // The exchanged processing-unit length Le (paper §2.2), folding in the
+    // system parameter Ls = 8 (64-bit memory path).
+    static constexpr std::size_t unit_bytes =
+        exchange_unit_of(std::size_t{8}, Stages::unit_bytes...);
+
+    // True if any fused stage requires strictly serial processing; the
+    // message planner consults this before scheduling parts out of order.
+    static constexpr bool ordering_constrained =
+        (false || ... || Stages::ordering_constrained);
+
+    explicit fused_pipeline(Stages&... stages) : stages_(&stages...) {}
+
+    // Streams n bytes (a multiple of unit_bytes) from src to dst through all
+    // stages; cursors advance so consecutive calls continue where the
+    // previous one stopped (how message parts share one wire stream).
+    template <memsim::memory_policy Mem>
+    void run(const Mem& mem, gather_cursor& src, scatter_cursor& dst,
+             std::size_t n) {
+        ILP_EXPECT(n % unit_bytes == 0);
+        alignas(8) std::byte scratch[unit_bytes];
+        for (std::size_t off = 0; off < n; off += unit_bytes) {
+            src.fill(mem, scratch, unit_bytes);
+            apply_stages(mem, scratch, std::index_sequence_for<Stages...>{});
+            dst.drain(mem, scratch, unit_bytes);
+        }
+    }
+
+    // Whole-message convenience: source and destination must describe the
+    // same number of bytes.
+    template <memsim::memory_policy Mem>
+    void run(const Mem& mem, const gather_source& src,
+             const scatter_dest& dst) {
+        ILP_EXPECT(src.total_size() == dst.total_size());
+        gather_cursor in(src);
+        scatter_cursor out(dst);
+        run(mem, in, out, src.total_size());
+    }
+
+private:
+    template <memsim::memory_policy Mem, std::size_t... I>
+    ILP_ALWAYS_INLINE void apply_stages([[maybe_unused]] const Mem& mem,
+                                        [[maybe_unused]] std::byte* scratch,
+                                        std::index_sequence<I...>) {
+        (apply_one<I>(mem, scratch), ...);
+    }
+
+    template <std::size_t I, memsim::memory_policy Mem>
+    ILP_ALWAYS_INLINE void apply_one(const Mem& mem, std::byte* scratch) {
+        using stage_type = std::tuple_element_t<I, std::tuple<Stages...>>;
+        auto* stage = std::get<I>(stages_);
+        for (std::size_t i = 0; i < unit_bytes; i += stage_type::unit_bytes) {
+            stage->process_unit(mem, scratch + i);
+        }
+    }
+
+    std::tuple<Stages*...> stages_;
+};
+
+// Deduction-friendly factory.
+template <data_stage... Stages>
+fused_pipeline<Stages...> make_pipeline(Stages&... stages) {
+    return fused_pipeline<Stages...>(stages...);
+}
+
+// ---------------------------------------------------------------------------
+// Common source/destination constructors
+
+inline gather_source span_source(std::span<const std::byte> data) {
+    gather_source src;
+    src.add(data);
+    return src;
+}
+
+inline scatter_dest span_dest(std::span<std::byte> data) {
+    scatter_dest dst;
+    dst.add(data);
+    return dst;
+}
+
+// Destination writing into (up to two) ring-buffer spans — the ILP send
+// loop's "align the data to the ring buffer structure" duty (§3.2.2).
+inline scatter_dest ring_dest(const ring_span& dst) {
+    scatter_dest out;
+    if (!dst.first.empty()) out.add(dst.first);
+    if (!dst.second.empty()) out.add(dst.second);
+    return out;
+}
+
+// Read-only sink (e.g. a verification pass that only feeds checksum taps).
+inline scatter_dest null_dest(std::size_t n) {
+    scatter_dest out;
+    out.add_discard(n);
+    return out;
+}
+
+}  // namespace ilp::core

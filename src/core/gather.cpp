@@ -1,0 +1,44 @@
+#include "core/gather.h"
+
+namespace ilp::core {
+
+namespace {
+
+// Shared slicing logic: walk segments, emit the sub-range.
+template <typename SourceOrDest, typename Segment>
+SourceOrDest slice_impl(std::span<const Segment> segments, std::size_t offset,
+                        std::size_t len) {
+    SourceOrDest out;
+    std::size_t pos = 0;
+    for (const Segment& s : segments) {
+        const std::size_t seg_begin = pos;
+        const std::size_t seg_end = pos + s.len;
+        pos = seg_end;
+        if (seg_end <= offset) continue;
+        if (seg_begin >= offset + len) break;
+        const std::size_t from = std::max(seg_begin, offset) - seg_begin;
+        const std::size_t to = std::min(seg_end, offset + len) - seg_begin;
+        ILP_EXPECT(s.op != segment_op::xdr_words ||
+                   (from % 4 == 0 && (to - from) % 4 == 0));
+        Segment cut = s;
+        if (cut.data != nullptr) cut.data += from;
+        cut.len = to - from;
+        out.append_raw(cut);
+    }
+    ILP_ENSURE(out.total_size() == len);
+    return out;
+}
+
+}  // namespace
+
+gather_source gather_source::slice(std::size_t offset, std::size_t len) const {
+    ILP_EXPECT(offset + len <= total_size());
+    return slice_impl<gather_source, gather_segment>(segments(), offset, len);
+}
+
+scatter_dest scatter_dest::slice(std::size_t offset, std::size_t len) const {
+    ILP_EXPECT(offset + len <= total_size());
+    return slice_impl<scatter_dest, scatter_segment>(segments(), offset, len);
+}
+
+}  // namespace ilp::core

@@ -1,0 +1,263 @@
+// Gather sources and scatter destinations for the fused ILP loop.
+//
+// Marshalling in a stub-compiler stack is not a uniform transform: an
+// outgoing message is assembled from segments — already-encoded header
+// words, integer fields that need host->XDR conversion, opaque payload that
+// is copied verbatim, and alignment bytes that are generated, not read
+// (paper Fig. 2).  A `gather_source` describes exactly that, and its cursor
+// *is* the marshalling stage of the fused loop: it reads each application
+// word once (through the memory policy, so the simulator sees it) and
+// deposits the XDR wire form directly into loop scratch.
+//
+// The receive side mirrors it: a `scatter_dest` routes decrypted wire words
+// to application fields (converting XDR ints back to host form), drops
+// padding, and writes each destination byte exactly once.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "buffer/ring_buffer.h"
+#include "memsim/mem_policy.h"
+#include "util/contracts.h"
+#include "util/endian.h"
+#include "util/fixed_vector.h"
+
+namespace ilp::core {
+
+// How a segment's bytes are transformed between application form and wire
+// form as they stream through the loop.
+enum class segment_op : std::uint8_t {
+    copy,       // opaque data / already-encoded bytes
+    xdr_words,  // 32-bit host integers <-> XDR big-endian words
+    zeros,      // generated alignment/padding bytes (no memory on this side)
+};
+
+struct gather_segment {
+    const std::byte* data = nullptr;  // null for zeros
+    std::size_t len = 0;
+    segment_op op = segment_op::copy;
+};
+
+struct scatter_segment {
+    std::byte* data = nullptr;  // null for discard (zeros on receive = drop)
+    std::size_t len = 0;
+    segment_op op = segment_op::copy;
+};
+
+inline constexpr std::size_t max_segments = 8;
+
+class gather_source {
+public:
+    gather_source() = default;
+
+    gather_source& add(std::span<const std::byte> data,
+                       segment_op op = segment_op::copy) {
+        ILP_EXPECT(op != segment_op::zeros);
+        ILP_EXPECT(op != segment_op::xdr_words || data.size() % 4 == 0);
+        segments_.push_back({data.data(), data.size(), op});
+        return *this;
+    }
+
+    gather_source& add_zeros(std::size_t len) {
+        segments_.push_back({nullptr, len, segment_op::zeros});
+        return *this;
+    }
+
+    std::size_t total_size() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : segments_) n += s.len;
+        return n;
+    }
+
+    // Sub-range [offset, offset+len).  Cuts inside xdr_words segments must
+    // fall on word boundaries or the word transform would tear.
+    gather_source slice(std::size_t offset, std::size_t len) const;
+
+    std::span<const gather_segment> segments() const noexcept {
+        return {segments_.data(), segments_.size()};
+    }
+
+    // Internal: append a pre-validated segment (slice() uses it).
+    void append_raw(const gather_segment& s) { segments_.push_back(s); }
+
+private:
+    fixed_vector<gather_segment, max_segments> segments_;
+};
+
+class scatter_dest {
+public:
+    scatter_dest() = default;
+
+    scatter_dest& add(std::span<std::byte> data,
+                      segment_op op = segment_op::copy) {
+        ILP_EXPECT(op != segment_op::zeros);
+        ILP_EXPECT(op != segment_op::xdr_words || data.size() % 4 == 0);
+        segments_.push_back({data.data(), data.size(), op});
+        return *this;
+    }
+
+    // Bytes to drop (padding, already-consumed header space).
+    scatter_dest& add_discard(std::size_t len) {
+        segments_.push_back({nullptr, len, segment_op::zeros});
+        return *this;
+    }
+
+    std::size_t total_size() const noexcept {
+        std::size_t n = 0;
+        for (const auto& s : segments_) n += s.len;
+        return n;
+    }
+
+    scatter_dest slice(std::size_t offset, std::size_t len) const;
+
+    std::span<const scatter_segment> segments() const noexcept {
+        return {segments_.data(), segments_.size()};
+    }
+
+    // Internal: append a pre-validated segment (slice() uses it).
+    void append_raw(const scatter_segment& s) { segments_.push_back(s); }
+
+private:
+    fixed_vector<scatter_segment, max_segments> segments_;
+};
+
+// ---------------------------------------------------------------------------
+// Cursors: sequential fill/drain used by the pipeline inner loop.
+
+class gather_cursor {
+public:
+    explicit gather_cursor(const gather_source& src) : src_(&src) {}
+
+    std::size_t remaining() const noexcept {
+        std::size_t n = 0;
+        const auto segs = src_->segments();
+        for (std::size_t i = seg_; i < segs.size(); ++i) n += segs[i].len;
+        return n - seg_pos_;
+    }
+
+    // Reads the next n bytes into `scratch` (direct stores: scratch is the
+    // loop's register set), applying each segment's transform.  Reads from
+    // segment memory go through `mem`.
+    template <memsim::memory_policy Mem>
+    void fill(const Mem& mem, std::byte* scratch, std::size_t n) {
+        const auto segs = src_->segments();
+        std::size_t out = 0;
+        while (out < n) {
+            ILP_EXPECT(seg_ < segs.size());
+            const gather_segment& s = segs[seg_];
+            const std::size_t take = std::min(n - out, s.len - seg_pos_);
+            switch (s.op) {
+                case segment_op::zeros:
+                    std::memset(scratch + out, 0, take);
+                    break;
+                case segment_op::copy: {
+                    // Read in the widest units available — the loop's single
+                    // read of each datum should use the full memory path.
+                    const std::byte* p = s.data + seg_pos_;
+                    std::size_t i = 0;
+                    for (; i + 8 <= take; i += 8) {
+                        const std::uint64_t v = mem.load_u64(p + i);
+                        std::memcpy(scratch + out + i, &v, 8);
+                    }
+                    for (; i + 4 <= take; i += 4) {
+                        const std::uint32_t v = mem.load_u32(p + i);
+                        std::memcpy(scratch + out + i, &v, 4);
+                    }
+                    for (; i < take; ++i) {
+                        scratch[out + i] =
+                            static_cast<std::byte>(mem.load_u8(p + i));
+                    }
+                    break;
+                }
+                case segment_op::xdr_words: {
+                    ILP_EXPECT(seg_pos_ % 4 == 0 && take % 4 == 0);
+                    const std::byte* p = s.data + seg_pos_;
+                    for (std::size_t i = 0; i < take; i += 4) {
+                        const std::uint32_t v = host_to_be32(mem.load_u32(p + i));
+                        std::memcpy(scratch + out + i, &v, 4);
+                    }
+                    break;
+                }
+            }
+            out += take;
+            seg_pos_ += take;
+            if (seg_pos_ == s.len) {
+                ++seg_;
+                seg_pos_ = 0;
+            }
+        }
+    }
+
+private:
+    const gather_source* src_;
+    std::size_t seg_ = 0;
+    std::size_t seg_pos_ = 0;
+};
+
+class scatter_cursor {
+public:
+    explicit scatter_cursor(const scatter_dest& dst) : dst_(&dst) {}
+
+    // Writes the next n bytes from `scratch` out to the destination
+    // segments (stores through `mem`), applying each segment's transform.
+    template <memsim::memory_policy Mem>
+    void drain(const Mem& mem, const std::byte* scratch, std::size_t n) {
+        const auto segs = dst_->segments();
+        std::size_t in = 0;
+        while (in < n) {
+            ILP_EXPECT(seg_ < segs.size());
+            const scatter_segment& s = segs[seg_];
+            const std::size_t take = std::min(n - in, s.len - seg_pos_);
+            switch (s.op) {
+                case segment_op::zeros:
+                    break;  // discarded (receive-side padding)
+                case segment_op::copy: {
+                    // Write in the widest units available (paper §2.2: one
+                    // 8-byte store per cipher block instead of two 4-byte
+                    // ones is the point of exchanging LCM-sized units).
+                    std::byte* p = s.data + seg_pos_;
+                    std::size_t i = 0;
+                    for (; i + 8 <= take; i += 8) {
+                        std::uint64_t v;
+                        std::memcpy(&v, scratch + in + i, 8);
+                        mem.store_u64(p + i, v);
+                    }
+                    for (; i + 4 <= take; i += 4) {
+                        std::uint32_t v;
+                        std::memcpy(&v, scratch + in + i, 4);
+                        mem.store_u32(p + i, v);
+                    }
+                    for (; i < take; ++i) {
+                        mem.store_u8(
+                            p + i, std::to_integer<std::uint8_t>(scratch[in + i]));
+                    }
+                    break;
+                }
+                case segment_op::xdr_words: {
+                    ILP_EXPECT(seg_pos_ % 4 == 0 && take % 4 == 0);
+                    std::byte* p = s.data + seg_pos_;
+                    for (std::size_t i = 0; i < take; i += 4) {
+                        std::uint32_t v;
+                        std::memcpy(&v, scratch + in + i, 4);
+                        mem.store_u32(p + i, be32_to_host(v));
+                    }
+                    break;
+                }
+            }
+            in += take;
+            seg_pos_ += take;
+            if (seg_pos_ == s.len) {
+                ++seg_;
+                seg_pos_ = 0;
+            }
+        }
+    }
+
+private:
+    const scatter_dest* dst_;
+    std::size_t seg_ = 0;
+    std::size_t seg_pos_ = 0;
+};
+
+}  // namespace ilp::core

@@ -1,0 +1,108 @@
+// The conventional (non-ILP) executors: one pass over memory per layer.
+//
+// These helpers implement the left-hand side of the paper's Figure 1/3:
+// every protocol function reads the complete packet from memory, transforms
+// it, and writes the complete intermediate packet back, so each layer adds a
+// full read+write of the data to the memory traffic.  The ILP/non-ILP
+// comparison in the benchmarks is precisely fused_pipeline vs. these.
+#pragma once
+
+#include <span>
+
+#include "checksum/internet_checksum.h"
+#include "core/fused_pipeline.h"
+#include "core/gather.h"
+#include "core/stage.h"
+#include "memsim/mem_policy.h"
+
+namespace ilp::core {
+
+// Applies one stage across `buf` in place: per stage unit, read from memory,
+// transform in registers, write back to memory (both counted).
+template <memsim::memory_policy Mem, data_stage S>
+void apply_stage_in_place(const Mem& mem, S& stage, std::span<std::byte> buf) {
+    constexpr std::size_t u = S::unit_bytes;
+    ILP_EXPECT(buf.size() % u == 0);
+    alignas(8) std::byte scratch[u];
+    for (std::size_t off = 0; off < buf.size(); off += u) {
+        // Load the unit through the policy...
+        std::size_t i = 0;
+        if constexpr (u % 8 == 0) {
+            for (; i < u; i += 8) {
+                const std::uint64_t v = mem.load_u64(buf.data() + off + i);
+                std::memcpy(scratch + i, &v, 8);
+            }
+        } else if constexpr (u % 4 == 0) {
+            for (; i < u; i += 4) {
+                const std::uint32_t v = mem.load_u32(buf.data() + off + i);
+                std::memcpy(scratch + i, &v, 4);
+            }
+        } else {
+            for (; i < u; ++i) {
+                scratch[i] = static_cast<std::byte>(mem.load_u8(buf.data() + off + i));
+            }
+        }
+        // ...transform in registers...
+        stage.process_unit(mem, scratch);
+        // ...and write it back.
+        i = 0;
+        if constexpr (u % 8 == 0) {
+            for (; i < u; i += 8) {
+                std::uint64_t v;
+                std::memcpy(&v, scratch + i, 8);
+                mem.store_u64(buf.data() + off + i, v);
+            }
+        } else if constexpr (u % 4 == 0) {
+            for (; i < u; i += 4) {
+                std::uint32_t v;
+                std::memcpy(&v, scratch + i, 4);
+                mem.store_u32(buf.data() + off + i, v);
+            }
+        } else {
+            for (; i < u; ++i) {
+                mem.store_u8(buf.data() + off + i,
+                             std::to_integer<std::uint8_t>(scratch[i]));
+            }
+        }
+    }
+}
+
+// Marshalling pass: assembles the gather segments into a contiguous buffer
+// (reads application memory, writes the wire image) without any fused
+// manipulation — layer 1 of the non-ILP send path.
+template <memsim::memory_policy Mem>
+void marshal_to_buffer(const Mem& mem, const gather_source& src,
+                       std::span<std::byte> dst) {
+    ILP_EXPECT(src.total_size() == dst.size());
+    fused_pipeline<> copy_loop;
+    copy_loop.run(mem, src, span_dest(dst));
+}
+
+// Unmarshalling pass: distributes a contiguous wire image to the scatter
+// segments (reads the packet, writes application memory) — the final layer
+// of the non-ILP receive path.
+template <memsim::memory_policy Mem>
+void unmarshal_from_buffer(const Mem& mem, std::span<const std::byte> src,
+                           const scatter_dest& dst) {
+    ILP_EXPECT(src.size() == dst.total_size());
+    fused_pipeline<> copy_loop;
+    copy_loop.run(mem, span_source(src), dst);
+}
+
+// Plain counted copy (the tcp_send / system-copy passes).
+template <memsim::memory_policy Mem>
+void copy_pass(const Mem& mem, std::span<const std::byte> src,
+               std::span<std::byte> dst) {
+    ILP_EXPECT(src.size() == dst.size());
+    mem.copy(dst.data(), src.data(), src.size());
+}
+
+// Standalone checksum pass (read-only, layer 4 of the non-ILP send path).
+template <memsim::memory_policy Mem>
+void checksum_pass(const Mem& mem, checksum::inet_accumulator& acc,
+                   std::span<const std::byte> data,
+                   std::size_t unit_width = 2) {
+    acc.add_bytes(mem, data, unit_width);
+}
+
+}  // namespace ilp::core

@@ -1,0 +1,36 @@
+#include "core/message_plan.h"
+
+#include "util/alignment.h"
+#include "util/contracts.h"
+
+namespace ilp::core {
+
+message_plan plan_parts(std::size_t marshalled_bytes) {
+    ILP_EXPECT(marshalled_bytes >= encryption_header_bytes);
+
+    message_plan plan;
+    plan.marshalled_bytes = marshalled_bytes;
+    plan.total_bytes = align_up(marshalled_bytes, encryption_unit_bytes);
+    plan.padding_bytes = plan.total_bytes - marshalled_bytes;
+
+    // Part A always covers the first cipher block: the encryption header and
+    // the first marshalled word.
+    plan.part_a = {0, encryption_unit_bytes};
+
+    if (plan.total_bytes == encryption_unit_bytes) {
+        // Degenerate message: the whole thing is part A.
+        plan.part_b = {encryption_unit_bytes, 0};
+        plan.part_c = {encryption_unit_bytes, 0};
+        return plan;
+    }
+
+    // Part C is the final block (position gamma), which contains the
+    // alignment bytes; part B is everything between beta and gamma.
+    plan.part_c = {plan.total_bytes - encryption_unit_bytes,
+                   encryption_unit_bytes};
+    plan.part_b = {encryption_unit_bytes,
+                   plan.total_bytes - 2 * encryption_unit_bytes};
+    return plan;
+}
+
+}  // namespace ilp::core

@@ -1,0 +1,67 @@
+// Message-part segmentation for header/data dependencies (paper §3.2.2).
+//
+// The encryption header (a 4-byte length field) is itself encrypted, the
+// cipher is aligned to 8 bytes, and the length is traditionally only known
+// once marshalling finishes.  The paper therefore splits the message (all
+// offsets relative to the start of the encryption header, Fig. 4):
+//
+//        0        4        8                total-8       total
+//        | enc hdr | 1st w. |   ...body...   | tail + pad |
+//        '----- part A -----'---- part B ----'-- part C --'
+//
+//   position alpha = 4  (marshalling starts right after the enc header)
+//   position beta  = 8  (first byte the cipher can process immediately)
+//   position gamma = total - 8 (last block, containing the alignment bytes)
+//
+// and processes parts in the order B, C, A: the body as it is produced, the
+// tail once padding is known, and finally part A when the length field can
+// be filled in.  This only works because every fused stage is
+// non-ordering-constrained; plan_parts() callers must check the pipeline's
+// flag (fused_pipeline::ordering_constrained) and fall back to linear order.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace ilp::core {
+
+// Size of the encryption header (length field) in bytes.
+inline constexpr std::size_t encryption_header_bytes = 4;
+
+// Cipher alignment all parts respect.
+inline constexpr std::size_t encryption_unit_bytes = 8;
+
+struct message_part {
+    std::size_t offset = 0;
+    std::size_t len = 0;
+
+    bool empty() const noexcept { return len == 0; }
+};
+
+struct message_plan {
+    // Marshalled length including the encryption header, before padding.
+    std::size_t marshalled_bytes = 0;
+    // Total wire length after padding to the cipher unit.
+    std::size_t total_bytes = 0;
+    std::size_t padding_bytes = 0;
+
+    message_part part_a;  // enc header + first marshalled word
+    message_part part_b;  // aligned body
+    message_part part_c;  // final block incl. padding
+
+    // The ILP processing order: B, C, A (empty parts skipped by callers).
+    std::array<message_part, 3> ilp_order() const noexcept {
+        return {part_b, part_c, part_a};
+    }
+
+    // Strictly serial order for ordering-constrained pipelines.
+    std::array<message_part, 3> linear_order() const noexcept {
+        return {part_a, part_b, part_c};
+    }
+};
+
+// Plans the parts for a message whose marshalled size (including the
+// 4-byte encryption header) is `marshalled_bytes` (>= 4).
+message_plan plan_parts(std::size_t marshalled_bytes);
+
+}  // namespace ilp::core

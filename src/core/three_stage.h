@@ -1,0 +1,48 @@
+// The three-stage processing model (Abbott & Peterson, paper §2.1).
+//
+// Ordering constraints between control and data functions are managed by
+// dividing protocol processing into
+//
+//   1. *initial operations*  — demultiplexing and packet parsing; small,
+//      decides whether and how to run the loop,
+//   2. the *ILP loop*        — all fused data manipulations, and
+//   3. the *final stage*     — message acceptance or rejection plus the
+//      control actions that depend on the loop's results (checksum verdict,
+//      ack generation, connection-state update).
+//
+// The user-level TCP receive path is written in exactly this shape; this
+// header gives the shape a name and a tiny generic runner so the
+// decomposition is visible (and testable) rather than implicit.
+#pragma once
+
+#include <optional>
+#include <utility>
+
+namespace ilp::core {
+
+// Outcome of the final stage.
+enum class final_verdict {
+    accept,   // message delivered; control state committed
+    reject,   // message dropped; control state untouched (no roll-back
+              // needed because manipulation ran before commitment)
+};
+
+// Runs the decomposition:
+//   * `initial()` returns std::optional<Plan>: nullopt = packet discarded
+//     before any data manipulation (bad header, no matching connection).
+//   * `loop(plan)` performs the integrated data manipulations and returns
+//     their result (checksum verdicts, delivered byte count, ...).
+//   * `final_stage(plan, loop_result)` accepts/rejects and commits control
+//     state; its verdict is returned.
+//
+// Returns nullopt if the initial stage discarded the packet.
+template <typename Initial, typename Loop, typename Final>
+auto run_three_stage(Initial&& initial, Loop&& loop, Final&& final_stage)
+    -> std::optional<final_verdict> {
+    auto plan = initial();
+    if (!plan.has_value()) return std::nullopt;
+    auto result = loop(*plan);
+    return final_stage(*plan, std::move(result));
+}
+
+}  // namespace ilp::core

@@ -1,0 +1,161 @@
+// Word filters (Abbott & Peterson) — the unit-size-mismatch baseline.
+//
+// A word filter "operates on words (commonly 4 bytes).  It outputs a word
+// each time a word is input and indicates, in case of larger data units, the
+// position of the output word in this data unit using a flag" (paper §2.1).
+// Filters chain into a pipeline: each filter transforms words and pushes
+// them to its successor.
+//
+// The paper's critique (§2.2) is that word filters hand data out as soon as
+// it is ready, regardless of whether the next function would rather receive
+// larger units: a checksum fed 4-byte words from an 8-byte cipher issues two
+// stores per block where one would do.  The LCM-unit fused pipeline is the
+// proposed fix; bench_ablation_unit_size measures both under the simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "checksum/internet_checksum.h"
+#include "crypto/block_cipher.h"
+#include "memsim/mem_policy.h"
+#include "util/contracts.h"
+#include "util/endian.h"
+
+namespace ilp::core {
+
+// One 4-byte word travelling through a filter chain, tagged with its
+// position inside the producing function's larger data unit.
+struct filter_word {
+    std::uint32_t value = 0;   // register image of the 4 memory bytes
+    std::uint8_t index = 0;    // word index within the producer's unit
+    std::uint8_t unit_words = 1;  // producer unit size in words
+};
+
+template <memsim::memory_policy Mem>
+class word_filter {
+public:
+    virtual ~word_filter() = default;
+
+    void set_next(word_filter* next) noexcept { next_ = next; }
+
+    // Pushes one word into this filter.
+    virtual void put(const Mem& mem, filter_word w) = 0;
+
+    // Signals end of message; filters with buffered state must have none
+    // left (message sizes are pre-aligned to every unit size).
+    virtual void finish(const Mem& mem) {
+        if (next_ != nullptr) next_->finish(mem);
+    }
+
+protected:
+    void emit(const Mem& mem, filter_word w) {
+        ILP_EXPECT(next_ != nullptr);
+        next_->put(mem, w);
+    }
+
+private:
+    word_filter* next_ = nullptr;
+};
+
+// Head of a chain: reads a buffer word-by-word through the memory policy.
+template <memsim::memory_policy Mem>
+void feed_words(const Mem& mem, word_filter<Mem>& first,
+                std::span<const std::byte> data) {
+    ILP_EXPECT(data.size() % 4 == 0);
+    for (std::size_t i = 0; i < data.size(); i += 4) {
+        first.put(mem, {mem.load_u32(data.data() + i), 0, 1});
+        }
+    first.finish(mem);
+}
+
+// Block-cipher filter: buffers words until a cipher block is complete,
+// transforms it, then emits the block's words one at a time (position
+// flagged) — exactly the granularity mismatch the paper analyses.
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher, bool Encrypt>
+class cipher_word_filter final : public word_filter<Mem> {
+public:
+    static constexpr std::size_t block_words = Cipher::block_bytes / 4;
+
+    explicit cipher_word_filter(const Cipher& cipher) : cipher_(&cipher) {}
+
+    void put(const Mem& mem, filter_word w) override {
+        std::memcpy(block_ + 4 * filled_, &w.value, 4);
+        if (++filled_ < block_words) return;
+        filled_ = 0;
+        if constexpr (Encrypt) {
+            cipher_->encrypt_block(mem, block_);
+        } else {
+            cipher_->decrypt_block(mem, block_);
+        }
+        for (std::size_t i = 0; i < block_words; ++i) {
+            filter_word out;
+            std::memcpy(&out.value, block_ + 4 * i, 4);
+            out.index = static_cast<std::uint8_t>(i);
+            out.unit_words = block_words;
+            this->emit(mem, out);
+        }
+    }
+
+    void finish(const Mem& mem) override {
+        ILP_EXPECT(filled_ == 0);  // caller aligned the message
+        word_filter<Mem>::finish(mem);
+    }
+
+private:
+    const Cipher* cipher_;
+    alignas(8) std::byte block_[Cipher::block_bytes] = {};
+    std::size_t filled_ = 0;
+};
+
+// Checksum filter: folds each word into the Internet checksum, passes it on.
+template <memsim::memory_policy Mem>
+class checksum_word_filter final : public word_filter<Mem> {
+public:
+    explicit checksum_word_filter(checksum::inet_accumulator& acc)
+        : acc_(&acc) {}
+
+    void put(const Mem& mem, filter_word w) override {
+        acc_->add_register_u32(w.value);
+        this->emit(mem, w);
+    }
+
+private:
+    checksum::inet_accumulator* acc_;
+};
+
+// Marshalling filter: converts each word between host and XDR (big-endian)
+// form — the word-filter rendition of the stub compiler's integer
+// conversion.  Encode and decode are the same transform; the direction is
+// fixed by where the chain sits (send vs receive).
+template <memsim::memory_policy Mem>
+class xdr_word_filter final : public word_filter<Mem> {
+public:
+    void put(const Mem& mem, filter_word w) override {
+        w.value = host_to_be32(w.value);
+        this->emit(mem, w);
+    }
+};
+
+// Sink: stores each arriving word to consecutive destination memory — one
+// 4-byte store per word, i.e. two stores per cipher block, the cost the
+// LCM rule removes.
+template <memsim::memory_policy Mem>
+class sink_word_filter final : public word_filter<Mem> {
+public:
+    explicit sink_word_filter(std::span<std::byte> dst) : dst_(dst) {}
+
+    void put(const Mem& mem, filter_word w) override {
+        ILP_EXPECT(pos_ + 4 <= dst_.size());
+        mem.store_u32(dst_.data() + pos_, w.value);
+        pos_ += 4;
+    }
+
+    std::size_t bytes_written() const noexcept { return pos_; }
+
+private:
+    std::span<std::byte> dst_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace ilp::core

@@ -1,0 +1,38 @@
+// Block-cipher concept shared by the stack's cipher stages.
+//
+// Every cipher used in the protocol suite operates on 8-byte blocks in ECB
+// fashion (the paper's stack encrypts each aligned 8-byte unit
+// independently, which is what makes encryption non-ordering-constrained and
+// thus fusable).  A cipher exposes in-place block transforms that take a
+// memory-access policy for their table/key reads.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+#include "memsim/mem_policy.h"
+
+namespace ilp::crypto {
+
+template <typename C>
+concept block_cipher =
+    requires(const C& c, const memsim::direct_memory& mem, std::byte* block) {
+        { C::block_bytes } -> std::convertible_to<std::size_t>;
+        c.encrypt_block(mem, block);
+        c.decrypt_block(mem, block);
+    };
+
+// Identity cipher: lets the same data paths run unencrypted transfers (and
+// isolates marshalling/checksum behaviour in tests and ablations).
+class null_cipher {
+public:
+    static constexpr std::size_t block_bytes = 8;
+
+    template <memsim::memory_policy Mem>
+    void encrypt_block(const Mem& /*mem*/, std::byte* /*block*/) const {}
+
+    template <memsim::memory_policy Mem>
+    void decrypt_block(const Mem& /*mem*/, std::byte* /*block*/) const {}
+};
+
+}  // namespace ilp::crypto

@@ -1,0 +1,93 @@
+// DES (FIPS 46) — the paper's slow-cipher reference point.
+//
+// §3.1: "the processing time spent in the more complex DES encryption
+// algorithm can hide totally the ILP performance gain … 0.5 Mbps for the
+// system implementation of DES on a SPARCstation 10", which is why the
+// measured experiments use SAFER-derived ciphers instead.  DES is included
+// so the cipher-complexity axis of the ablations has its historical
+// endpoint, and as another ECB block cipher exercising the stage framework.
+//
+// Straightforward table-driven implementation (initial/final permutation,
+// 16 Feistel rounds, S-box lookups through the memory-access policy so the
+// simulator sees its considerable table pressure).  Validated against the
+// classic FIPS worked example in the tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "memsim/mem_policy.h"
+#include "util/contracts.h"
+
+namespace ilp::crypto {
+
+class des {
+public:
+    static constexpr std::size_t block_bytes = 8;
+    static constexpr std::size_t key_bytes = 8;  // parity bits ignored
+
+    explicit des(std::span<const std::byte> key);
+
+    template <memsim::memory_policy Mem>
+    void encrypt_block(const Mem& mem, std::byte* block) const {
+        process_block(mem, block, /*decrypt=*/false);
+    }
+
+    template <memsim::memory_policy Mem>
+    void decrypt_block(const Mem& mem, std::byte* block) const {
+        process_block(mem, block, /*decrypt=*/true);
+    }
+
+private:
+    // The 8 S-boxes as raw bytes (64 entries each) so lookups go through
+    // the memory policy.
+    static const std::byte* sbox_bytes(unsigned box) noexcept;
+
+    static std::uint64_t load_block(const std::byte* block) noexcept;
+    static void store_block(std::byte* block, std::uint64_t v) noexcept;
+
+    static std::uint64_t initial_permutation(std::uint64_t v) noexcept;
+    static std::uint64_t final_permutation(std::uint64_t v) noexcept;
+    static std::uint64_t expand(std::uint32_t r) noexcept;  // E: 32 -> 48
+    static std::uint32_t permute_p(std::uint32_t v) noexcept;
+
+    template <memsim::memory_policy Mem>
+    std::uint32_t feistel(const Mem& mem, std::uint32_t r,
+                          std::uint64_t subkey) const {
+        const std::uint64_t x = expand(r) ^ subkey;
+        std::uint32_t out = 0;
+        for (unsigned box = 0; box < 8; ++box) {
+            // 6 input bits per box, MSB-first.
+            const unsigned chunk =
+                static_cast<unsigned>((x >> (42 - 6 * box)) & 0x3f);
+            const unsigned row = ((chunk & 0x20) >> 4) | (chunk & 1);
+            const unsigned col = (chunk >> 1) & 0xf;
+            const std::uint8_t s =
+                mem.load_u8(sbox_bytes(box) + row * 16 + col);
+            out = (out << 4) | s;
+        }
+        return permute_p(out);
+    }
+
+    template <memsim::memory_policy Mem>
+    void process_block(const Mem& mem, std::byte* block, bool decrypt) const {
+        const std::uint64_t input = initial_permutation(load_block(block));
+        std::uint32_t l = static_cast<std::uint32_t>(input >> 32);
+        std::uint32_t r = static_cast<std::uint32_t>(input);
+        for (int round = 0; round < 16; ++round) {
+            const std::uint64_t subkey =
+                subkeys_[decrypt ? 15 - round : round];
+            const std::uint32_t next = l ^ feistel(mem, r, subkey);
+            l = r;
+            r = next;
+        }
+        // Final swap then inverse permutation.
+        const std::uint64_t pre_output =
+            (static_cast<std::uint64_t>(r) << 32) | l;
+        store_block(block, final_permutation(pre_output));
+    }
+
+    std::uint64_t subkeys_[16];  // 48 bits each, in the low bits
+};
+
+}  // namespace ilp::crypto

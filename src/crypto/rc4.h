@@ -1,0 +1,93 @@
+// RC4 stream cipher — the ordering-constrained counter-example.
+//
+// §2.2: "An ordering constrained function requires that data are processed
+// in a serial order to ensure a correct result.  Examples of ordering
+// constrained functions are the CRC calculation … and stream cipher
+// encryption algorithms."  Such functions cannot take part in the paper's
+// out-of-order message-part processing (parts B, C, A): the pipeline's
+// ordering_constrained flag propagates from this stage and the send path
+// must fall back to strictly linear processing.
+//
+// The 256-byte state is read *and written* for every data byte (the swap),
+// so under the simulator RC4 exhibits even heavier table pressure than
+// SAFER — a useful extra point on the cache-behaviour axis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "memsim/mem_policy.h"
+#include "util/contracts.h"
+
+namespace ilp::crypto {
+
+class rc4 {
+public:
+    explicit rc4(std::span<const std::byte> key) {
+        ILP_EXPECT(!key.empty() && key.size() <= 256);
+        for (unsigned i = 0; i < 256; ++i) {
+            state_[i] = static_cast<std::uint8_t>(i);
+        }
+        std::uint8_t j = 0;
+        for (unsigned i = 0; i < 256; ++i) {
+            j = static_cast<std::uint8_t>(
+                j + state_[i] +
+                std::to_integer<std::uint8_t>(key[i % key.size()]));
+            std::swap(state_[i], state_[j]);
+        }
+    }
+
+    // XORs the keystream over `data` in place.  Encryption and decryption
+    // are the same operation; the object's stream position advances, so
+    // both sides must process bytes in identical order — the ordering
+    // constraint made concrete.
+    template <memsim::memory_policy Mem>
+    void process(const Mem& mem, std::byte* data, std::size_t n) {
+        std::byte* const s = reinterpret_cast<std::byte*>(state_);
+        std::uint8_t i = i_;
+        std::uint8_t j = j_;
+        for (std::size_t k = 0; k < n; ++k) {
+            i = static_cast<std::uint8_t>(i + 1);
+            const std::uint8_t si = mem.load_u8(s + i);
+            j = static_cast<std::uint8_t>(j + si);
+            const std::uint8_t sj = mem.load_u8(s + j);
+            mem.store_u8(s + i, sj);
+            mem.store_u8(s + j, si);
+            const std::uint8_t keystream =
+                mem.load_u8(s + static_cast<std::uint8_t>(si + sj));
+            data[k] ^= static_cast<std::byte>(keystream);
+        }
+        i_ = i;
+        j_ = j;
+    }
+
+    // Keystream position (bytes generated so far is not tracked; exposing
+    // i/j lets tests assert serial-order sensitivity).
+    std::uint8_t i() const noexcept { return i_; }
+    std::uint8_t j() const noexcept { return j_; }
+
+private:
+    alignas(8) std::uint8_t state_[256];
+    std::uint8_t i_ = 0;
+    std::uint8_t j_ = 0;
+};
+
+// Stream-cipher stage: 8 bytes of keystream per unit, *ordering
+// constrained* — fusing it is fine, reordering message parts is not.
+class rc4_stage {
+public:
+    static constexpr std::size_t unit_bytes = 8;
+    static constexpr bool ordering_constrained = true;
+
+    explicit rc4_stage(rc4& cipher) : cipher_(&cipher) {}
+
+    template <memsim::memory_policy Mem>
+    void process_unit(const Mem& mem, std::byte* unit) const {
+        cipher_->process(mem, unit, unit_bytes);
+    }
+
+private:
+    rc4* cipher_;
+};
+
+}  // namespace ilp::crypto

@@ -1,0 +1,35 @@
+#include "crypto/safer_k64.h"
+
+namespace ilp::crypto {
+
+namespace {
+
+constexpr std::uint8_t rotl3(std::uint8_t x) noexcept {
+    return static_cast<std::uint8_t>((x << 3) | (x >> 5));
+}
+
+}  // namespace
+
+safer_k64::safer_k64(std::span<const std::byte> key,
+                     unsigned rounds)
+    : rounds_(rounds) {
+    ILP_EXPECT(key.size() == key_bytes);
+    ILP_EXPECT(rounds >= 1 && rounds <= max_rounds);
+    // K_1 is the user key; each later subkey rotates every byte left by 3
+    // and adds the bias B_i[j] = E[E[9i + j]] (1-based i, j).
+    std::uint8_t reg[key_bytes];
+    for (std::size_t j = 0; j < key_bytes; ++j) {
+        reg[j] = std::to_integer<std::uint8_t>(key[j]);
+        subkeys_[0][j] = reg[j];
+    }
+    for (unsigned i = 2; i <= 2 * rounds_ + 1; ++i) {
+        for (std::size_t j = 0; j < key_bytes; ++j) {
+            reg[j] = rotl3(reg[j]);
+            const std::uint8_t bias = safer_exp(
+                safer_exp(static_cast<std::uint8_t>(9 * i + j + 1)));
+            subkeys_[i - 1][j] = static_cast<std::uint8_t>(reg[j] + bias);
+        }
+    }
+}
+
+}  // namespace ilp::crypto

@@ -1,0 +1,113 @@
+// The paper's *simplified* SAFER-K64 (§3.1).
+//
+// Full SAFER K-64 (~25 Mbps at one round on a SPARCstation 10) was still too
+// slow to let ILP effects show, so the authors reduced it to one layer of
+// each operation type while "keeping the characteristics of the algorithm
+// unchanged":
+//
+//   1. add/xor of each byte with the key    (reads the key),
+//   2. logarithm/exponential on each byte   (reads the E/L tables),
+//   3. 2-PHT(a1,a2) = (2*a1+a2, a1+a2) on each byte pair.
+//
+// This keeps the cache-relevant behaviour — one key read and one
+// data-dependent table read per byte — at roughly 100x DES speed, which is
+// exactly what made ILP gains measurable.  Decryption mirrors the three
+// layers in reverse; as the paper notes it needs more intermediate values,
+// which is why its cache behaviour is worse on the receive side (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/safer_k64.h"
+#include "crypto/safer_tables.h"
+#include "memsim/mem_policy.h"
+
+namespace ilp::crypto {
+
+class safer_simplified {
+public:
+    static constexpr std::size_t block_bytes = 8;
+    static constexpr std::size_t key_bytes = 8;
+
+    explicit safer_simplified(std::span<const std::byte> key)
+        : schedule_(key, 1) {}
+
+    template <memsim::memory_policy Mem>
+    void encrypt_block(const Mem& mem, std::byte* block) const {
+        const std::byte* const exp = safer_exp_table();
+        const std::byte* const log = safer_log_table();
+        const std::byte* const k = schedule_.subkey(0);
+        std::uint8_t v[block_bytes];
+        // Layer 1: mixed add/xor with the key (key bytes read via `mem`).
+        for (std::size_t j = 0; j < block_bytes; ++j) {
+            const std::uint8_t b = std::to_integer<std::uint8_t>(block[j]);
+            const std::uint8_t kj = mem.load_u8(k + j);
+            v[j] = use_xor(j) ? static_cast<std::uint8_t>(b ^ kj)
+                              : static_cast<std::uint8_t>(b + kj);
+        }
+        // Layer 2: mixed exp/log substitution (table bytes read via `mem`).
+        for (std::size_t j = 0; j < block_bytes; ++j) {
+            v[j] = use_xor(j) ? mem.load_u8(exp + v[j]) : mem.load_u8(log + v[j]);
+        }
+        // Layer 3: 2-PHT on each pair of bytes.
+        for (std::size_t j = 0; j < block_bytes; j += 2) {
+            const std::uint8_t a1 = v[j];
+            const std::uint8_t a2 = v[j + 1];
+            v[j] = static_cast<std::uint8_t>(2 * a1 + a2);
+            v[j + 1] = static_cast<std::uint8_t>(a1 + a2);
+        }
+        for (std::size_t j = 0; j < block_bytes; ++j) {
+            block[j] = static_cast<std::byte>(v[j]);
+        }
+    }
+
+    template <memsim::memory_policy Mem>
+    void decrypt_block(const Mem& mem, std::byte* block) const {
+        const std::byte* const exp = safer_exp_table();
+        const std::byte* const log = safer_log_table();
+        const std::byte* const k = schedule_.subkey(0);
+        // Decryption keeps more intermediate state than encryption (the
+        // paper's explanation for its higher receive-side cache misses): the
+        // inverse PHT needs both halves of each pair before either output
+        // byte is final.
+        std::uint8_t in[block_bytes];
+        std::uint8_t mid[block_bytes];
+        std::uint8_t out[block_bytes];
+        for (std::size_t j = 0; j < block_bytes; ++j) {
+            in[j] = std::to_integer<std::uint8_t>(block[j]);
+        }
+        // Inverse layer 3: IPHT(b1,b2) = (b1-b2, 2*b2-b1).
+        for (std::size_t j = 0; j < block_bytes; j += 2) {
+            const std::uint8_t b1 = in[j];
+            const std::uint8_t b2 = in[j + 1];
+            mid[j] = static_cast<std::uint8_t>(b1 - b2);
+            mid[j + 1] = static_cast<std::uint8_t>(2 * b2 - b1);
+        }
+        // Inverse layer 2: log undoes exp and vice versa.
+        for (std::size_t j = 0; j < block_bytes; ++j) {
+            mid[j] = use_xor(j) ? mem.load_u8(log + mid[j])
+                                : mem.load_u8(exp + mid[j]);
+        }
+        // Inverse layer 1.
+        for (std::size_t j = 0; j < block_bytes; ++j) {
+            const std::uint8_t kj = mem.load_u8(k + j);
+            out[j] = use_xor(j) ? static_cast<std::uint8_t>(mid[j] ^ kj)
+                                : static_cast<std::uint8_t>(mid[j] - kj);
+        }
+        for (std::size_t j = 0; j < block_bytes; ++j) {
+            block[j] = static_cast<std::byte>(out[j]);
+        }
+    }
+
+private:
+    // SAFER's mixed pattern: positions 0,3,4,7 use xor (and the E table),
+    // positions 1,2,5,6 use addition (and the L table).
+    static constexpr bool use_xor(std::size_t j) noexcept {
+        return j == 0 || j == 3 || j == 4 || j == 7;
+    }
+
+    safer_k64 schedule_;  // reuses the SAFER key schedule (subkey 0)
+};
+
+}  // namespace ilp::crypto

@@ -1,0 +1,39 @@
+#include "crypto/safer_tables.h"
+
+namespace ilp::crypto {
+
+namespace {
+
+struct tables {
+    alignas(8) std::uint8_t exp[256];
+    alignas(8) std::uint8_t log[256];
+
+    tables() {
+        std::uint32_t t = 1;
+        for (std::size_t i = 0; i < 256; ++i) {
+            exp[i] = static_cast<std::uint8_t>(t & 0xff);
+            log[exp[i]] = static_cast<std::uint8_t>(i);
+            t = t * 45 % 257;
+        }
+    }
+};
+
+const tables& get() {
+    static const tables t;
+    return t;
+}
+
+}  // namespace
+
+const std::byte* safer_exp_table() noexcept {
+    return reinterpret_cast<const std::byte*>(get().exp);
+}
+
+const std::byte* safer_log_table() noexcept {
+    return reinterpret_cast<const std::byte*>(get().log);
+}
+
+std::uint8_t safer_exp(std::uint8_t x) noexcept { return get().exp[x]; }
+std::uint8_t safer_log(std::uint8_t x) noexcept { return get().log[x]; }
+
+}  // namespace ilp::crypto

@@ -1,0 +1,29 @@
+// The SAFER exponential/logarithm tables (Massey, "SAFER K-64: A
+// Byte-Oriented Block-Ciphering Algorithm").
+//
+// exp_table[i] = 45^i mod 257 (mod 256), so exp_table[128] = 256 mod 256 = 0,
+// and log_table is its inverse permutation (log_table[0] = 128).
+//
+// These two 256-byte tables are the heart of the paper's cache analysis
+// (§4.2): every encrypted byte costs a data-dependent table read, and in the
+// ILP case the tables compete for cache lines with packet data between
+// 8-byte units, which is why ILP *raises* the miss ratio with this cipher.
+// Table reads therefore go through the memory-access policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ilp::crypto {
+
+// 256-byte tables, 8-byte aligned, laid out as raw bytes so any memory
+// policy can read them.
+const std::byte* safer_exp_table() noexcept;
+const std::byte* safer_log_table() noexcept;
+
+// Direct (uncounted) table access, for key-schedule computation which the
+// paper performs once at connection setup, outside the measured data path.
+std::uint8_t safer_exp(std::uint8_t x) noexcept;
+std::uint8_t safer_log(std::uint8_t x) noexcept;
+
+}  // namespace ilp::crypto

@@ -1,0 +1,90 @@
+// Memory-access vocabulary shared by the cache model and the access policies.
+//
+// The paper analyses memory behaviour in terms of the *number and size* of
+// accesses (e.g. "13.7e6 4-byte reads less", "1-byte cache misses increase
+// from 0.03e6 to 2e6"), so the simulator keeps a per-size histogram of both
+// accesses and misses.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ilp::memsim {
+
+enum class access_kind : std::uint8_t { read, write };
+
+// Buckets for access sizes 1, 2, 4, 8 bytes (larger accesses are accounted
+// in the 8-byte bucket; the protocol stack never issues wider ones).
+inline constexpr std::size_t size_bucket_count = 4;
+
+constexpr std::size_t size_bucket(std::size_t bytes) noexcept {
+    if (bytes <= 1) return 0;
+    if (bytes <= 2) return 1;
+    if (bytes <= 4) return 2;
+    return 3;
+}
+
+constexpr std::size_t bucket_bytes(std::size_t bucket) noexcept {
+    constexpr std::array<std::size_t, size_bucket_count> widths{1, 2, 4, 8};
+    return widths[bucket];
+}
+
+// Per-size access/miss counters for one direction (read or write).
+struct access_histogram {
+    std::array<std::uint64_t, size_bucket_count> accesses{};
+    std::array<std::uint64_t, size_bucket_count> misses{};
+
+    std::uint64_t total_accesses() const noexcept {
+        std::uint64_t sum = 0;
+        for (const auto v : accesses) sum += v;
+        return sum;
+    }
+    std::uint64_t total_misses() const noexcept {
+        std::uint64_t sum = 0;
+        for (const auto v : misses) sum += v;
+        return sum;
+    }
+    // Total bytes moved by the recorded accesses.
+    std::uint64_t total_bytes() const noexcept {
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < size_bucket_count; ++i)
+            sum += accesses[i] * bucket_bytes(i);
+        return sum;
+    }
+
+    access_histogram& operator+=(const access_histogram& other) noexcept {
+        for (std::size_t i = 0; i < size_bucket_count; ++i) {
+            accesses[i] += other.accesses[i];
+            misses[i] += other.misses[i];
+        }
+        return *this;
+    }
+};
+
+// Full memory-access statistics for one simulation run.
+struct access_stats {
+    access_histogram reads;
+    access_histogram writes;
+
+    std::uint64_t total_accesses() const noexcept {
+        return reads.total_accesses() + writes.total_accesses();
+    }
+    std::uint64_t total_misses() const noexcept {
+        return reads.total_misses() + writes.total_misses();
+    }
+    double miss_ratio() const noexcept {
+        const std::uint64_t acc = total_accesses();
+        return acc == 0 ? 0.0
+                        : static_cast<double>(total_misses()) /
+                              static_cast<double>(acc);
+    }
+
+    access_stats& operator+=(const access_stats& other) noexcept {
+        reads += other.reads;
+        writes += other.writes;
+        return *this;
+    }
+};
+
+}  // namespace ilp::memsim

@@ -1,0 +1,95 @@
+#include "memsim/cache.h"
+
+#include "util/contracts.h"
+
+namespace ilp::memsim {
+
+namespace {
+
+constexpr bool is_power_of_two(std::size_t v) noexcept {
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+cache::cache(cache_config config) : config_(std::move(config)) {
+    ILP_EXPECT(config_.size_bytes > 0);
+    ILP_EXPECT(is_power_of_two(config_.line_bytes));
+    ILP_EXPECT(config_.associativity >= 1);
+    ILP_EXPECT(config_.size_bytes % (config_.line_bytes * config_.associativity) == 0);
+    set_count_ = config_.set_count();
+    ILP_EXPECT(is_power_of_two(set_count_));
+    lines_.resize(set_count_ * config_.associativity);
+}
+
+cache_access_result cache::access(std::uint64_t addr, access_kind kind) {
+    const std::uint64_t line_addr = addr / config_.line_bytes;
+    const std::size_t set = static_cast<std::size_t>(line_addr) & (set_count_ - 1);
+    const std::uint64_t tag = line_addr / set_count_;
+    line* const base = &lines_[set * config_.associativity];
+
+    // Hit path.
+    for (std::size_t way = 0; way < config_.associativity; ++way) {
+        line& l = base[way];
+        if (l.valid && l.tag == tag) {
+            l.lru_stamp = ++lru_counter_;
+            if (kind == access_kind::write &&
+                config_.writes == write_policy::write_back) {
+                l.dirty = true;
+            }
+            ++hits_;
+            return {.hit = true, .writeback = false};
+        }
+    }
+
+    // Miss.
+    ++misses_;
+    if (kind == access_kind::read) {
+        ++read_misses_;
+    } else {
+        ++write_misses_;
+    }
+
+    const bool fill =
+        kind == access_kind::read ||
+        config_.write_misses == write_miss_policy::allocate;
+    if (!fill) {
+        // Write-around: data goes straight to the next level, no line fill.
+        return {.hit = false, .writeback = false};
+    }
+
+    // Choose victim: first invalid way, else LRU.
+    line* victim = base;
+    for (std::size_t way = 0; way < config_.associativity; ++way) {
+        line& l = base[way];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lru_stamp < victim->lru_stamp) victim = &l;
+    }
+
+    const bool writeback = victim->valid && victim->dirty;
+    if (victim->valid) ++evictions_;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru_stamp = ++lru_counter_;
+    victim->dirty = kind == access_kind::write &&
+                    config_.writes == write_policy::write_back;
+    return {.hit = false, .writeback = writeback};
+}
+
+void cache::flush() {
+    for (auto& l : lines_) l = line{};
+    lru_counter_ = 0;
+}
+
+void cache::reset_counters() {
+    hits_ = 0;
+    misses_ = 0;
+    read_misses_ = 0;
+    write_misses_ = 0;
+    evictions_ = 0;
+}
+
+}  // namespace ilp::memsim

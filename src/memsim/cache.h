@@ -1,0 +1,81 @@
+// Set-associative cache model with LRU replacement.
+//
+// Models the first-level data/instruction caches and optional second-level
+// caches of the paper's machines (e.g. SuperSPARC: 16 KB 4-way D + 20 KB
+// 5-way I, write-through; Alpha 21064: 8 KB direct-mapped D + 8 KB I,
+// write-through, plus 512 KB external cache).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memsim/access.h"
+
+namespace ilp::memsim {
+
+enum class write_policy : std::uint8_t { write_through, write_back };
+enum class write_miss_policy : std::uint8_t { allocate, no_allocate };
+
+struct cache_config {
+    std::string name;
+    std::size_t size_bytes = 0;
+    std::size_t line_bytes = 32;
+    std::size_t associativity = 1;  // 1 = direct-mapped
+    write_policy writes = write_policy::write_through;
+    write_miss_policy write_misses = write_miss_policy::no_allocate;
+
+    std::size_t set_count() const noexcept {
+        return size_bytes / (line_bytes * associativity);
+    }
+};
+
+// Result of one cache lookup.
+struct cache_access_result {
+    bool hit = false;
+    // A dirty line was evicted (write-back caches only); the caller charges a
+    // write-back to the next level.
+    bool writeback = false;
+};
+
+class cache {
+public:
+    explicit cache(cache_config config);
+
+    // Looks up the line containing `addr`; on miss, fills the line (subject
+    // to the write-miss policy).  The caller is responsible for splitting
+    // accesses that span multiple lines.
+    cache_access_result access(std::uint64_t addr, access_kind kind);
+
+    // Invalidate all lines (e.g. between measurement phases).
+    void flush();
+
+    const cache_config& config() const noexcept { return config_; }
+
+    std::uint64_t hits() const noexcept { return hits_; }
+    std::uint64_t misses() const noexcept { return misses_; }
+    std::uint64_t read_misses() const noexcept { return read_misses_; }
+    std::uint64_t write_misses() const noexcept { return write_misses_; }
+    std::uint64_t evictions() const noexcept { return evictions_; }
+    void reset_counters();
+
+private:
+    struct line {
+        std::uint64_t tag = 0;
+        std::uint64_t lru_stamp = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    cache_config config_;
+    std::size_t set_count_;
+    std::vector<line> lines_;  // set-major layout: lines_[set * assoc + way]
+    std::uint64_t lru_counter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t read_misses_ = 0;
+    std::uint64_t write_misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ilp::memsim

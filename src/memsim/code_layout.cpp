@@ -1,0 +1,38 @@
+#include "memsim/code_layout.h"
+
+#include "util/contracts.h"
+
+namespace ilp::memsim {
+
+const code_region& code_layout::add(std::string_view name,
+                                    std::size_t entry_bytes,
+                                    std::size_t loop_bytes) {
+    ILP_EXPECT(find(name) == nullptr);
+    code_region region;
+    region.name = std::string(name);
+    region.entry_base = next_;
+    region.entry_bytes = entry_bytes;
+    next_ += entry_bytes;
+    region.loop_base = next_;
+    region.loop_bytes = loop_bytes;
+    next_ += loop_bytes;
+    // Round the next function up to a 32-byte boundary like a linker would.
+    next_ = (next_ + 31) & ~std::uint64_t{31};
+    regions_.push_back(std::move(region));
+    return regions_.back();
+}
+
+const code_region* code_layout::find(std::string_view name) const noexcept {
+    for (const auto& r : regions_) {
+        if (r.name == name) return &r;
+    }
+    return nullptr;
+}
+
+std::size_t code_layout::footprint() const noexcept {
+    std::size_t total = 0;
+    for (const auto& r : regions_) total += r.entry_bytes + r.loop_bytes;
+    return total;
+}
+
+}  // namespace ilp::memsim

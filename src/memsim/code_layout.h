@@ -1,0 +1,66 @@
+// Synthetic instruction-footprint model.
+//
+// The paper's Alpha results hinge on instruction-cache behaviour: the fused
+// ILP loop's code is larger than each individual layer loop, and on the
+// 8 KB I-cache of the 21064 the extra instruction misses eat 24-28 % of the
+// memory-system time (§4.2).  We cannot replay 1995 binaries, so we model
+// code as named regions in a synthetic address space:
+//
+//   * each function has an *entry* region, fetched once per invocation
+//     (prologue, control logic), and
+//   * a *loop* region, fetched once per processing-unit iteration.
+//
+// A data path declares which functions run per message and per unit; the
+// instruction fetches stream through the same memory_system as the data
+// accesses.  This substitution is documented in DESIGN.md (§2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "memsim/memory_system.h"
+
+namespace ilp::memsim {
+
+struct code_region {
+    std::string name;
+    std::uint64_t entry_base = 0;
+    std::size_t entry_bytes = 0;
+    std::uint64_t loop_base = 0;
+    std::size_t loop_bytes = 0;
+};
+
+// Assigns non-overlapping addresses in a synthetic code segment, mimicking a
+// linker laying functions out consecutively.
+class code_layout {
+public:
+    // Code segments start high so they never collide with heap data
+    // addresses fed to the same memory_system.
+    explicit code_layout(std::uint64_t segment_base = 0x7000'0000'0000ull)
+        : next_(segment_base) {}
+
+    const code_region& add(std::string_view name, std::size_t entry_bytes,
+                           std::size_t loop_bytes);
+
+    const code_region* find(std::string_view name) const noexcept;
+
+    // Total code bytes laid out so far.
+    std::size_t footprint() const noexcept;
+
+private:
+    std::uint64_t next_;
+    std::vector<code_region> regions_;
+};
+
+// Fetch helpers used by the instrumented data paths.
+inline void fetch_entry(memory_system& sys, const code_region& fn) {
+    if (fn.entry_bytes > 0) sys.instruction_fetch(fn.entry_base, fn.entry_bytes);
+}
+
+inline void fetch_loop_iteration(memory_system& sys, const code_region& fn) {
+    if (fn.loop_bytes > 0) sys.instruction_fetch(fn.loop_base, fn.loop_bytes);
+}
+
+}  // namespace ilp::memsim

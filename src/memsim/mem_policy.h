@@ -1,0 +1,154 @@
+// Memory-access policies.
+//
+// Every data manipulation kernel in the stack (marshalling, encryption,
+// checksum, copy) is a template over a memory-access policy `Mem`:
+//
+//  * `direct_memory`  — raw loads/stores, fully inlined; used for native
+//    wall-clock benchmarking.  This is the deployed configuration.
+//  * `sim_memory`     — the same loads/stores, but each one is first
+//    streamed through a `memsim::memory_system` in program order.  This is
+//    the reproduction of running the binary under shade/cachesim or atom.
+//
+// Kernels keep intermediate values in local variables; locals model CPU
+// registers and are intentionally *not* routed through the policy — exactly
+// the paper's model of the ILP loop ("all the other operations should work
+// on registers").  Only accesses to packet buffers, cipher tables, key
+// schedules and protocol buffers go through `Mem`.
+//
+// The multi-byte accessors use unaligned host-endian semantics (memcpy), and
+// kernels apply explicit byte-order conversion where the wire format
+// requires it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "memsim/memory_system.h"
+#include "util/contracts.h"
+
+namespace ilp::memsim {
+
+// Raw memory access; compiles to plain loads and stores.
+struct direct_memory {
+    ILP_ALWAYS_INLINE std::uint8_t load_u8(const std::byte* p) const {
+        return std::to_integer<std::uint8_t>(*p);
+    }
+    ILP_ALWAYS_INLINE std::uint16_t load_u16(const std::byte* p) const {
+        std::uint16_t v;
+        std::memcpy(&v, p, sizeof v);
+        return v;
+    }
+    ILP_ALWAYS_INLINE std::uint32_t load_u32(const std::byte* p) const {
+        std::uint32_t v;
+        std::memcpy(&v, p, sizeof v);
+        return v;
+    }
+    ILP_ALWAYS_INLINE std::uint64_t load_u64(const std::byte* p) const {
+        std::uint64_t v;
+        std::memcpy(&v, p, sizeof v);
+        return v;
+    }
+
+    ILP_ALWAYS_INLINE void store_u8(std::byte* p, std::uint8_t v) const {
+        *p = static_cast<std::byte>(v);
+    }
+    ILP_ALWAYS_INLINE void store_u16(std::byte* p, std::uint16_t v) const {
+        std::memcpy(p, &v, sizeof v);
+    }
+    ILP_ALWAYS_INLINE void store_u32(std::byte* p, std::uint32_t v) const {
+        std::memcpy(p, &v, sizeof v);
+    }
+    ILP_ALWAYS_INLINE void store_u64(std::byte* p, std::uint64_t v) const {
+        std::memcpy(p, &v, sizeof v);
+    }
+
+    // Widest-unit block copy, the building block of the non-ILP data paths
+    // (the bcopy of the paper's hosts, on a 64-bit memory path).  ILP and
+    // non-ILP paths use the same widths so their comparison isolates the
+    // number of passes, not the op width.
+    ILP_ALWAYS_INLINE void copy(std::byte* dst, const std::byte* src,
+                                std::size_t n) const {
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8) store_u64(dst + i, load_u64(src + i));
+        for (; i + 4 <= n; i += 4) store_u32(dst + i, load_u32(src + i));
+        for (; i < n; ++i) store_u8(dst + i, load_u8(src + i));
+    }
+};
+
+// Instrumented memory access: every operation is recorded by a
+// memory_system before the real load/store happens, using the actual
+// virtual address, so the cache model sees the program's true locality.
+class sim_memory {
+public:
+    explicit sim_memory(memory_system& sys) : sys_(&sys) {}
+
+    std::uint8_t load_u8(const std::byte* p) const {
+        sys_->read(addr(p), 1);
+        return raw_.load_u8(p);
+    }
+    std::uint16_t load_u16(const std::byte* p) const {
+        sys_->read(addr(p), 2);
+        return raw_.load_u16(p);
+    }
+    std::uint32_t load_u32(const std::byte* p) const {
+        sys_->read(addr(p), 4);
+        return raw_.load_u32(p);
+    }
+    std::uint64_t load_u64(const std::byte* p) const {
+        sys_->read(addr(p), 8);
+        return raw_.load_u64(p);
+    }
+
+    void store_u8(std::byte* p, std::uint8_t v) const {
+        sys_->write(addr(p), 1);
+        raw_.store_u8(p, v);
+    }
+    void store_u16(std::byte* p, std::uint16_t v) const {
+        sys_->write(addr(p), 2);
+        raw_.store_u16(p, v);
+    }
+    void store_u32(std::byte* p, std::uint32_t v) const {
+        sys_->write(addr(p), 4);
+        raw_.store_u32(p, v);
+    }
+    void store_u64(std::byte* p, std::uint64_t v) const {
+        sys_->write(addr(p), 8);
+        raw_.store_u64(p, v);
+    }
+
+    void copy(std::byte* dst, const std::byte* src, std::size_t n) const {
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8) store_u64(dst + i, load_u64(src + i));
+        for (; i + 4 <= n; i += 4) store_u32(dst + i, load_u32(src + i));
+        for (; i < n; ++i) store_u8(dst + i, load_u8(src + i));
+    }
+
+    memory_system& system() const noexcept { return *sys_; }
+
+private:
+    static std::uint64_t addr(const std::byte* p) noexcept {
+        return reinterpret_cast<std::uintptr_t>(p);
+    }
+
+    memory_system* sys_;
+    direct_memory raw_;
+};
+
+// Concept satisfied by both policies; kernels constrain on it.
+template <typename M>
+concept memory_policy = requires(const M& m, const std::byte* cp, std::byte* p) {
+    { m.load_u8(cp) } -> std::same_as<std::uint8_t>;
+    { m.load_u16(cp) } -> std::same_as<std::uint16_t>;
+    { m.load_u32(cp) } -> std::same_as<std::uint32_t>;
+    { m.load_u64(cp) } -> std::same_as<std::uint64_t>;
+    m.store_u8(p, std::uint8_t{});
+    m.store_u16(p, std::uint16_t{});
+    m.store_u32(p, std::uint32_t{});
+    m.store_u64(p, std::uint64_t{});
+    m.copy(p, cp, std::size_t{});
+};
+
+static_assert(memory_policy<direct_memory>);
+static_assert(memory_policy<sim_memory>);
+
+}  // namespace ilp::memsim

@@ -1,0 +1,106 @@
+#include "memsim/memory_system.h"
+
+#include "util/contracts.h"
+
+namespace ilp::memsim {
+
+memory_system::memory_system(const memory_system_config& config)
+    : l1d_(config.l1d), l1i_(config.l1i), timing_(config.timing) {
+    if (config.l2.has_value()) l2_.emplace(*config.l2);
+}
+
+std::uint64_t memory_system::charge_miss(std::uint64_t addr, access_kind kind) {
+    if (!l2_.has_value()) return timing_.memory_cycles;
+    const cache_access_result r = l2_->access(addr, kind);
+    std::uint64_t cost = timing_.l2_hit_cycles;
+    if (!r.hit) cost += timing_.memory_cycles;
+    if (r.writeback) cost += timing_.memory_cycles;
+    return cost;
+}
+
+void memory_system::data_access(std::uint64_t addr, std::size_t bytes,
+                                access_kind kind) {
+    ILP_EXPECT(bytes > 0);
+    access_histogram& hist =
+        kind == access_kind::read ? data_stats_.reads : data_stats_.writes;
+    const std::size_t bucket = size_bucket(bytes);
+    ++hist.accesses[bucket];
+
+    // Split the access at line boundaries; the whole access counts once in
+    // the histogram, and it counts as missing if any piece misses in L1-D.
+    const std::size_t line = l1d_.config().line_bytes;
+    bool missed = false;
+    std::uint64_t cost = 0;
+    std::uint64_t piece_addr = addr;
+    std::size_t remaining = bytes;
+    while (remaining > 0) {
+        const std::size_t in_line =
+            std::min<std::size_t>(remaining, line - (piece_addr % line));
+        const cache_access_result r = l1d_.access(piece_addr, kind);
+        cost += timing_.l1_hit_cycles;
+        if (!r.hit) {
+            missed = true;
+            if (kind == access_kind::write &&
+                l1d_.config().writes == write_policy::write_through &&
+                l1d_.config().write_misses == write_miss_policy::no_allocate) {
+                // Write-around miss: no line fill — the store just posts to
+                // the write buffer like a write-through hit.
+                cost += timing_.write_through_cycles;
+            } else {
+                // Read misses and allocating write misses fetch the line
+                // from below.
+                cost += charge_miss(piece_addr, kind);
+            }
+        } else if (kind == access_kind::write &&
+                   l1d_.config().writes == write_policy::write_through) {
+            // Write-through hit: the write also propagates downwards, but a
+            // write buffer hides most of the latency.
+            cost += timing_.write_through_cycles;
+        }
+        if (r.writeback) cost += charge_miss(piece_addr, access_kind::write);
+        piece_addr += in_line;
+        remaining -= in_line;
+    }
+    if (missed) ++hist.misses[bucket];
+    cycles_ += cost;
+    data_cycles_ += cost;
+}
+
+void memory_system::instruction_fetch(std::uint64_t addr, std::size_t bytes) {
+    ILP_EXPECT(bytes > 0);
+    const std::size_t line = l1i_.config().line_bytes;
+    std::uint64_t piece_addr = addr;
+    std::size_t remaining = bytes;
+    while (remaining > 0) {
+        const std::size_t in_line =
+            std::min<std::size_t>(remaining, line - (piece_addr % line));
+        ++ifetches_;
+        const cache_access_result r = l1i_.access(piece_addr, access_kind::read);
+        std::uint64_t cost = 0;
+        if (!r.hit) {
+            ++ifetch_misses_;
+            cost += charge_miss(piece_addr, access_kind::read);
+        }
+        cycles_ += cost;
+        piece_addr += in_line;
+        remaining -= in_line;
+    }
+}
+
+void memory_system::reset(bool cold_caches) {
+    data_stats_ = access_stats{};
+    ifetches_ = 0;
+    ifetch_misses_ = 0;
+    cycles_ = 0;
+    data_cycles_ = 0;
+    l1d_.reset_counters();
+    l1i_.reset_counters();
+    if (l2_) l2_->reset_counters();
+    if (cold_caches) {
+        l1d_.flush();
+        l1i_.flush();
+        if (l2_) l2_->flush();
+    }
+}
+
+}  // namespace ilp::memsim

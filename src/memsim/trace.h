@@ -1,0 +1,138 @@
+// Access-trace capture and replay — the shade workflow.
+//
+// SunOS shade traced a binary once and fed the trace to cachesim-style
+// analysers.  The equivalent here: run any data path with `trace_memory`
+// (records every counted access, in order, while still performing it), then
+// replay the trace against any number of `memory_system` configurations —
+// one execution, many cache studies, and bit-identical inputs for each, so
+// cross-configuration comparisons are free of address-layout noise.
+//
+// Traces can also be rebased to a canonical address origin per memory
+// region, which makes them reproducible across process runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memsim/mem_policy.h"
+#include "memsim/memory_system.h"
+#include "util/contracts.h"
+
+namespace ilp::memsim {
+
+struct trace_record {
+    std::uint64_t addr;
+    std::uint32_t bytes;
+    access_kind kind;
+};
+
+class access_trace {
+public:
+    void append(std::uint64_t addr, std::uint32_t bytes, access_kind kind) {
+        records_.push_back({addr, bytes, kind});
+    }
+
+    std::size_t size() const noexcept { return records_.size(); }
+    bool empty() const noexcept { return records_.empty(); }
+    const trace_record& operator[](std::size_t i) const { return records_[i]; }
+    const std::vector<trace_record>& records() const noexcept {
+        return records_;
+    }
+
+    void clear() noexcept { records_.clear(); }
+
+    std::uint64_t read_count() const noexcept {
+        std::uint64_t n = 0;
+        for (const auto& r : records_) n += r.kind == access_kind::read;
+        return n;
+    }
+    std::uint64_t write_count() const noexcept {
+        return size() - read_count();
+    }
+    std::uint64_t total_bytes() const noexcept {
+        std::uint64_t n = 0;
+        for (const auto& r : records_) n += r.bytes;
+        return n;
+    }
+
+    // Rewrites all addresses relative to the trace's minimum address, so
+    // two captures of the same logical run (at different heap addresses)
+    // replay identically — as long as the run used a single contiguous
+    // arena.  For multi-buffer runs, rebase() still canonicalises the
+    // origin; relative buffer spacing is preserved.
+    void rebase(std::uint64_t new_origin = 0x10000) {
+        if (records_.empty()) return;
+        std::uint64_t min_addr = records_.front().addr;
+        for (const auto& r : records_) min_addr = std::min(min_addr, r.addr);
+        for (auto& r : records_) r.addr = r.addr - min_addr + new_origin;
+    }
+
+private:
+    std::vector<trace_record> records_;
+};
+
+// Memory policy that performs accesses directly *and* records them.
+class trace_memory {
+public:
+    explicit trace_memory(access_trace& trace) : trace_(&trace) {}
+
+    std::uint8_t load_u8(const std::byte* p) const {
+        trace_->append(addr(p), 1, access_kind::read);
+        return raw_.load_u8(p);
+    }
+    std::uint16_t load_u16(const std::byte* p) const {
+        trace_->append(addr(p), 2, access_kind::read);
+        return raw_.load_u16(p);
+    }
+    std::uint32_t load_u32(const std::byte* p) const {
+        trace_->append(addr(p), 4, access_kind::read);
+        return raw_.load_u32(p);
+    }
+    std::uint64_t load_u64(const std::byte* p) const {
+        trace_->append(addr(p), 8, access_kind::read);
+        return raw_.load_u64(p);
+    }
+
+    void store_u8(std::byte* p, std::uint8_t v) const {
+        trace_->append(addr(p), 1, access_kind::write);
+        raw_.store_u8(p, v);
+    }
+    void store_u16(std::byte* p, std::uint16_t v) const {
+        trace_->append(addr(p), 2, access_kind::write);
+        raw_.store_u16(p, v);
+    }
+    void store_u32(std::byte* p, std::uint32_t v) const {
+        trace_->append(addr(p), 4, access_kind::write);
+        raw_.store_u32(p, v);
+    }
+    void store_u64(std::byte* p, std::uint64_t v) const {
+        trace_->append(addr(p), 8, access_kind::write);
+        raw_.store_u64(p, v);
+    }
+
+    void copy(std::byte* dst, const std::byte* src, std::size_t n) const {
+        std::size_t i = 0;
+        for (; i + 8 <= n; i += 8) store_u64(dst + i, load_u64(src + i));
+        for (; i + 4 <= n; i += 4) store_u32(dst + i, load_u32(src + i));
+        for (; i < n; ++i) store_u8(dst + i, load_u8(src + i));
+    }
+
+private:
+    static std::uint64_t addr(const std::byte* p) noexcept {
+        return reinterpret_cast<std::uintptr_t>(p);
+    }
+
+    access_trace* trace_;
+    direct_memory raw_;
+};
+
+static_assert(memory_policy<trace_memory>);
+
+// Feeds a captured trace through a memory system in order.
+inline void replay(const access_trace& trace, memory_system& sys) {
+    for (const trace_record& r : trace.records()) {
+        sys.data_access(r.addr, r.bytes, r.kind);
+    }
+}
+
+}  // namespace ilp::memsim

@@ -1,0 +1,75 @@
+#include "net/datagram.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ilp::net {
+
+datagram_pipe::datagram_pipe(virtual_clock& clock, sim_time latency_us,
+                             fault_config faults)
+    : clock_(&clock),
+      latency_us_(latency_us),
+      faults_(faults),
+      rng_(faults.seed),
+      kernel_staging_(max_packet_bytes),
+      deliver_buffer_(max_packet_bytes) {}
+
+void datagram_pipe::enqueue(std::size_t bytes) {
+    ++stats_.packets_sent;
+    ++stats_.send_crossings;
+    stats_.bytes_sent += bytes;
+
+    if (rng_.next_bool(faults_.drop_probability)) {
+        ++stats_.packets_dropped;
+        return;
+    }
+
+    const int copies = rng_.next_bool(faults_.duplicate_probability) ? 2 : 1;
+    if (copies == 2) ++stats_.packets_duplicated;
+
+    for (int c = 0; c < copies; ++c) {
+        in_flight_packet pkt;
+        pkt.data.assign(kernel_staging_.data(), kernel_staging_.data() + bytes);
+        if (rng_.next_bool(faults_.corrupt_probability)) {
+            ++stats_.packets_corrupted;
+            const std::size_t victim = rng_.next_below(bytes);
+            pkt.data[victim] ^= static_cast<std::byte>(
+                1u << rng_.next_below(8));
+        }
+        sim_time deliver_at = clock_->now() + latency_us_;
+        if (rng_.next_bool(faults_.reorder_probability)) {
+            ++stats_.packets_reordered;
+            // Hold the packet long enough that a later send overtakes it.
+            deliver_at += 2 * latency_us_ + 1;
+        }
+        pkt.deliver_at = deliver_at;
+        queue_.push_back(std::move(pkt));
+        clock_->schedule_at(deliver_at, [this] { deliver_due(); });
+    }
+}
+
+void datagram_pipe::deliver_due() {
+    const sim_time now = clock_->now();
+    for (;;) {
+        // Earliest due packet (stable order for ties: queue order).
+        auto it = queue_.end();
+        for (auto cand = queue_.begin(); cand != queue_.end(); ++cand) {
+            if (cand->deliver_at > now) continue;
+            if (it == queue_.end() || cand->deliver_at < it->deliver_at) {
+                it = cand;
+            }
+        }
+        if (it == queue_.end()) break;
+
+        const std::size_t n = it->data.size();
+        std::memcpy(deliver_buffer_.data(), it->data.data(), n);
+        queue_.erase(it);
+        ++stats_.packets_delivered;
+        ++stats_.deliver_crossings;
+        if (on_packet_ != nullptr) {
+            on_packet_(deliver_buffer_.subspan(0, n));
+        }
+    }
+}
+
+}  // namespace ilp::net

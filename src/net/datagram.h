@@ -1,0 +1,153 @@
+// The "kernel part": an in-process datagram service.
+//
+// The paper's user-level TCP sits on a thin kernel component with "similar
+// functionality as UDP without checksum" (§3.1): it carries TPDUs between
+// the user-level TCP instances and demultiplexes arriving packets to the
+// right connection.  This module reproduces that substrate in-process:
+//
+//   * unidirectional `datagram_pipe`s with configurable latency,
+//   * deterministic fault injection (drop / duplicate / corrupt / reorder)
+//     driven by a seeded RNG so failure tests are reproducible,
+//   * an explicit *system copy* at each domain crossing, performed through
+//     the caller's memory-access policy — the r/w pass the paper's Figures
+//     3 and 5 label "system copy", and
+//   * crossing counters, because the user/kernel crossing count is the
+//     paper's explanation for the user-level vs kernel TCP gap (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "buffer/byte_buffer.h"
+#include "buffer/ring_buffer.h"
+#include "memsim/mem_policy.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/virtual_clock.h"
+
+namespace ilp::net {
+
+struct fault_config {
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+    double corrupt_probability = 0.0;
+    double reorder_probability = 0.0;
+    std::uint64_t seed = 1;
+};
+
+struct pipe_stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t packets_duplicated = 0;
+    std::uint64_t packets_corrupted = 0;
+    std::uint64_t packets_reordered = 0;
+    std::uint64_t bytes_sent = 0;
+    // Domain crossings: one per send() (user -> kernel) and one per
+    // delivered packet (kernel -> user handler).
+    std::uint64_t send_crossings = 0;
+    std::uint64_t deliver_crossings = 0;
+};
+
+// One direction of a link.  Packets are copied into a kernel staging buffer
+// through the sender's memory policy (the send-side system copy), queued
+// with the configured latency, and handed to the receiver as a span of
+// kernel memory (the receive-side system copy is the receiver's duty,
+// matching Fig. 5 step 1).
+class datagram_pipe {
+public:
+    static constexpr std::size_t max_packet_bytes = 8 * 1024;
+
+    using handler = std::function<void(std::span<const std::byte>)>;
+
+    datagram_pipe(virtual_clock& clock, sim_time latency_us,
+                  fault_config faults = {});
+
+    void set_receiver(handler on_packet) { on_packet_ = std::move(on_packet); }
+
+    // Sends the concatenation of `parts` as one datagram.  The gather lets
+    // TCP transmit a header plus (possibly wrapped) ring-buffer payload
+    // without pre-flattening, like writev.  All bytes are copied into the
+    // kernel staging buffer through `mem`.
+    template <memsim::memory_policy Mem>
+    void send(const Mem& mem,
+              std::initializer_list<std::span<const std::byte>> parts) {
+        std::size_t total = 0;
+        for (const auto part : parts) {
+            ILP_EXPECT(total + part.size() <= max_packet_bytes);
+            mem.copy(kernel_staging_.data() + total, part.data(), part.size());
+            total += part.size();
+        }
+        enqueue(total);
+    }
+
+    template <memsim::memory_policy Mem>
+    void send(const Mem& mem, std::span<const std::byte> packet) {
+        send(mem, {packet});
+    }
+
+    // Zero-copy send: models an fbufs/zero-copy network adapter (the
+    // paper's refs [12]-[15]) where the driver DMAs straight out of the
+    // protocol buffer — no counted system copy, the crossing still happens.
+    // §4.1: "Using more advanced systems, e.g. zero-copy network adapters
+    // ... could raise the benefits from ILP further."
+    void send_zero_copy(std::initializer_list<std::span<const std::byte>> parts) {
+        std::size_t total = 0;
+        for (const auto part : parts) {
+            ILP_EXPECT(total + part.size() <= max_packet_bytes);
+            std::memcpy(kernel_staging_.data() + total, part.data(),
+                        part.size());
+            total += part.size();
+        }
+        enqueue(total);
+    }
+
+    // Delivers every packet whose latency has elapsed (called by the clock's
+    // timer machinery; exposed for tests that poll manually).
+    void deliver_due();
+
+    const pipe_stats& stats() const noexcept { return stats_; }
+    std::size_t in_flight() const noexcept { return queue_.size(); }
+
+private:
+    struct in_flight_packet {
+        std::vector<std::byte> data;
+        sim_time deliver_at;
+    };
+
+    void enqueue(std::size_t bytes);
+
+    virtual_clock* clock_;
+    sim_time latency_us_;
+    fault_config faults_;
+    rng rng_;
+    handler on_packet_;
+    byte_buffer kernel_staging_;  // send-side kernel buffer (system copy dst)
+    byte_buffer deliver_buffer_;  // receive-side kernel buffer (DMA target)
+    std::deque<in_flight_packet> queue_;
+    pipe_stats stats_;
+};
+
+// A bidirectional link: data direction plus the reverse path the
+// acknowledgement packets use.
+class duplex_link {
+public:
+    duplex_link(virtual_clock& clock, sim_time latency_us,
+                fault_config forward_faults = {},
+                fault_config reverse_faults = {})
+        : forward_(clock, latency_us, forward_faults),
+          reverse_(clock, latency_us, reverse_faults) {}
+
+    datagram_pipe& forward() noexcept { return forward_; }
+    datagram_pipe& reverse() noexcept { return reverse_; }
+
+private:
+    datagram_pipe forward_;
+    datagram_pipe reverse_;
+};
+
+}  // namespace ilp::net

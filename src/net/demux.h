@@ -1,0 +1,72 @@
+// Port demultiplexer — the kernel part's routing duty.
+//
+// §3.1: "On the receiving side, the kernel part demultiplexes IP packets to
+// the corresponding user-level TCP connection, i.e. to the corresponding
+// application.  Each TCP user-level connection receives only the packets of
+// its associated application."
+//
+// The demux peeks at the TCP destination port (bytes 2..3 of the segment)
+// without a full header parse — kernel demultiplexing is deliberately
+// minimal, everything else happens in user space.  Register it as a
+// datagram_pipe receiver and bind one handler per local port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+
+#include "tcp/header.h"
+#include "util/endian.h"
+
+namespace ilp::net {
+
+class port_demux {
+public:
+    using handler = std::function<void(std::span<const std::byte>)>;
+
+    // Binds `on_packet` to segments addressed to `port`.  Rebinding a bound
+    // port replaces the handler (connection restart).
+    void bind(std::uint16_t port, handler on_packet) {
+        handlers_[port] = std::move(on_packet);
+    }
+
+    void unbind(std::uint16_t port) { handlers_.erase(port); }
+
+    std::size_t bound_ports() const noexcept { return handlers_.size(); }
+
+    // The pipe receiver: route by destination port.
+    void dispatch(std::span<const std::byte> packet) {
+        if (packet.size() < tcp::header_bytes) {
+            ++malformed_;
+            return;
+        }
+        const std::uint16_t dst_port = load_be16(packet.data() + 2);
+        const auto it = handlers_.find(dst_port);
+        if (it == handlers_.end()) {
+            ++no_listener_drops_;
+            return;
+        }
+        ++dispatched_;
+        it->second(packet);
+    }
+
+    // Adapter for datagram_pipe::set_receiver.
+    handler receiver() {
+        return [this](std::span<const std::byte> p) { dispatch(p); };
+    }
+
+    std::uint64_t dispatched() const noexcept { return dispatched_; }
+    std::uint64_t no_listener_drops() const noexcept {
+        return no_listener_drops_;
+    }
+    std::uint64_t malformed() const noexcept { return malformed_; }
+
+private:
+    std::map<std::uint16_t, handler> handlers_;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t no_listener_drops_ = 0;
+    std::uint64_t malformed_ = 0;
+};
+
+}  // namespace ilp::net

@@ -1,0 +1,71 @@
+#include "platform/machines.h"
+
+#include "util/contracts.h"
+
+namespace ilp::platform {
+
+namespace {
+
+machine_model supersparc(std::string name, std::string display,
+                         double clock_mhz, bool has_l2,
+                         double system_us_per_packet) {
+    machine_model m;
+    m.name = std::move(name);
+    m.display = std::move(display);
+    m.clock_mhz = clock_mhz;
+    m.memory = has_l2 ? memsim::supersparc_with_l2()
+                      : memsim::supersparc_no_l2();
+    m.alu_cycles_per_data_byte = 0.25;
+    m.byte_alu_factor = 1.0;  // SPARC has byte loads/stores
+    m.control_cycles_per_packet = 1500;
+    m.crossing_cycles = 500;
+    m.system_us_per_packet = system_us_per_packet;
+    return m;
+}
+
+machine_model alpha(std::string name, std::string display, double clock_mhz,
+                    std::size_t l2_bytes, double system_us_per_packet) {
+    machine_model m;
+    m.name = std::move(name);
+    m.display = std::move(display);
+    m.clock_mhz = clock_mhz;
+    m.memory = memsim::alpha21064(l2_bytes);
+    // Loads/stores and loop glue are costlier per byte on the 21064's
+    // in-order dual-issue pipeline than on the SuperSPARC for this kind of
+    // byte-and-word shuffling code.
+    m.alu_cycles_per_data_byte = 0.8;
+    // The 21064 has no byte load/store instructions: byte-granular cipher
+    // work costs extract/insert sequences.
+    m.byte_alu_factor = 3.0;
+    // OSF/1 1.3/2.x: "causes a very high overhead in the experiment" (§4.1).
+    m.control_cycles_per_packet = 9000;
+    m.crossing_cycles = 2500;
+    m.system_us_per_packet = system_us_per_packet;
+    return m;
+}
+
+}  // namespace
+
+std::vector<machine_model> paper_machines() {
+    // System overheads calibrated so that 1 KB ILP throughput lands near the
+    // paper's Figure 8 values given the modelled packet processing times.
+    return {
+        supersparc("ss10-30", "SS10-30", 36.0, /*has_l2=*/false, 900),
+        supersparc("ss10-41", "SS10-41", 40.0, true, 750),
+        supersparc("ss10-51", "SS10-51", 50.0, true, 500),
+        supersparc("ss20-60", "SS20-60", 60.0, true, 420),
+        alpha("axp3000-500", "AXP3000/500", 150.0, 512 * 1024, 600),
+        alpha("axp3000-600", "AXP3000/600", 175.0, 2 * 1024 * 1024, 550),
+        alpha("axp3000-800", "AXP3000/800", 200.0, 2 * 1024 * 1024, 450),
+    };
+}
+
+machine_model machine(const std::string& name) {
+    for (auto& m : paper_machines()) {
+        if (m.name == name) return m;
+    }
+    ILP_EXPECT(false && "unknown machine");
+    return {};
+}
+
+}  // namespace ilp::platform

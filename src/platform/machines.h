@@ -1,0 +1,56 @@
+// Models of the paper's seven evaluation machines.
+//
+// Each machine is a cache hierarchy (from memsim/configs.h) plus a small
+// cycle-cost model.  The cost model is deliberately simple — the goal is the
+// paper's *shapes* (ILP vs non-ILP ordering, growth with packet size, the
+// no-L2 dip, the Alpha anomalies), not cycle-exact 1995 emulation:
+//
+//   processing_cycles = data-manipulation ALU work
+//                     + memory-system cycles (from the cache simulator)
+//                     + instruction-side cycles (from the I-cache model)
+//                     + per-packet control work + per-crossing traps
+//
+//   packet time [us]  = processing_cycles / clock_mhz
+//
+// Per-machine quirks modelled:
+//   * SS10-30 has no second-level cache: every L1 miss pays main memory.
+//   * Alpha 21064 has no byte load/store instructions, so byte-granular
+//     cipher work pays `byte_alu_factor`; its 8 KB direct-mapped I-cache is
+//     where the fused loop's larger code footprint hurts (§4.2).
+//   * OSF/1's system overhead is far higher than SunOS/Solaris (§4.1), which
+//     shrinks the *relative* ILP gain on the DEC machines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memsim/configs.h"
+
+namespace ilp::platform {
+
+struct machine_model {
+    std::string name;        // canonical id, e.g. "ss10-30"
+    std::string display;     // the paper's label, e.g. "SS10-30"
+    double clock_mhz = 0;
+    memsim::memory_system_config memory;
+
+    // ALU cost model (cycles).
+    double alu_cycles_per_data_byte = 0.25;  // marshalling/copy/checksum work
+    double byte_alu_factor = 1.0;            // penalty for byte-wise ops
+    double control_cycles_per_packet = 0;    // TCP/RPC control processing
+    double crossing_cycles = 0;              // user/kernel boundary trap
+
+    // System-side time (IP, driver, task switches, loop-back) per packet,
+    // used only for throughput (Figures 8/9/12); the paper notes these
+    // "have significant impact on the total throughput" but are not part of
+    // packet processing time.
+    double system_us_per_packet = 0;
+};
+
+// The seven machines of Table 1, in the paper's order.
+std::vector<machine_model> paper_machines();
+
+// Look up one machine by canonical id; aborts on unknown ids.
+machine_model machine(const std::string& name);
+
+}  // namespace ilp::platform

@@ -1,0 +1,128 @@
+// File-transfer RPC messages — the "generated" stubs.
+//
+// The paper's application describes its request and reply messages in ASN.1
+// and feeds them to the MAVROS stub compiler; the generated routine emits
+// the RPC header and the XDR form of the message (§3.1).  This module is
+// the hand-written equivalent of that generated code: fixed message layouts,
+// explicit wire offsets, and builders that produce the gather/scatter
+// descriptions the ILP loop marshals through.
+//
+// Wire layout of every message, offsets relative to the encryption header
+// (paper Fig. 2 / Fig. 4):
+//
+//   [0,4)    encryption header: length of the marshalled message (including
+//            this field, excluding alignment), big-endian
+//   [4,..)   RPC header + XDR body (the marshalled message)
+//   [..,N)   alignment bytes to the next 8-byte boundary
+//
+// Request (client -> server):
+//   RPC header: msg_type=1, request_id
+//   body:       filename (XDR string), copy_count, max_reply_payload
+//
+// Reply (server -> client), one per file segment:
+//   RPC header: msg_type=2, request_id, copy_index, offset, total_bytes
+//   body:       segment payload (XDR variable opaque)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/gather.h"
+#include "core/message_plan.h"
+#include "util/alignment.h"
+
+namespace ilp::rpc {
+
+inline constexpr std::uint32_t msg_type_request = 1;
+inline constexpr std::uint32_t msg_type_reply = 2;
+
+// Encryption header size (the length field).
+inline constexpr std::size_t enc_header_bytes = core::encryption_header_bytes;
+
+// ---------------------------------------------------------------------------
+// Request
+
+struct file_request {
+    std::uint32_t request_id = 0;
+    std::string filename;
+    std::uint32_t copy_count = 1;
+    std::uint32_t max_reply_payload = 1024;
+};
+
+// Marshals a request (control-plane; requests are small and rare) into
+// `out`, producing the complete unencrypted wire image *including* the
+// encryption header and alignment bytes.  Returns the total wire size, or
+// nullopt if `out` is too small.
+std::optional<std::size_t> marshal_request(const file_request& request,
+                                           std::span<std::byte> out);
+
+// Parses a decrypted request wire image (starting at the encryption
+// header).  Returns nullopt on malformed input.
+std::optional<file_request> unmarshal_request(
+    std::span<const std::byte> wire);
+
+// ---------------------------------------------------------------------------
+// Reply
+
+// Fixed-size RPC header of a reply: 5 XDR words after the encryption header.
+struct reply_header {
+    std::uint32_t msg_type = msg_type_reply;
+    std::uint32_t request_id = 0;
+    std::uint32_t copy_index = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t total_bytes = 0;
+};
+
+inline constexpr std::size_t reply_header_bytes = 5 * 4;
+
+// Offsets within the wire image.
+inline constexpr std::size_t reply_payload_offset =
+    enc_header_bytes + reply_header_bytes + 4;  // after the opaque length word
+
+struct reply_layout {
+    std::size_t payload_bytes = 0;     // segment payload carried
+    std::size_t marshalled_bytes = 0;  // enc header + RPC header + XDR body
+    std::size_t wire_bytes = 0;        // marshalled + alignment
+    core::message_plan plan;           // parts A/B/C of this message
+};
+
+// Computes the layout for a reply carrying `payload_bytes` of file data.
+reply_layout layout_reply(std::size_t payload_bytes);
+
+// Largest payload such that the reply's wire size does not exceed
+// `wire_budget` (the experiment's "packet size" knob).  Returns 0 if even an
+// empty reply does not fit.
+std::size_t max_payload_for_wire(std::size_t wire_budget);
+
+// The sender-side staging for one reply's headers: the encryption header and
+// RPC header words plus the XDR opaque length, pre-encoded in wire (XDR)
+// form by control-plane code.  The ILP loop reads these 28 bytes through the
+// gather exactly once, like any other message bytes.
+struct reply_staging {
+    alignas(8) std::byte bytes[reply_payload_offset];
+};
+
+// Fills `staging` and returns the gather source describing the complete wire
+// image: staging (copy) + payload (copy) + generated padding.  `payload`
+// must live until the gather has been consumed.
+core::gather_source make_reply_source(const reply_header& header,
+                                      std::span<const std::byte> payload,
+                                      reply_staging& staging);
+
+// Receive side: decodes the five RPC header words (already decrypted, XDR
+// form) into a reply_header.  `words` must hold reply_header_bytes bytes.
+std::optional<reply_header> decode_reply_header(
+    std::span<const std::byte> words);
+
+// ---------------------------------------------------------------------------
+// Encryption header helpers
+
+// Reads the marshalled-length field from a decrypted encryption header and
+// validates it against the actual wire size; returns the marshalled length
+// or nullopt.
+std::optional<std::size_t> validate_enc_header(std::uint32_t length_field,
+                                               std::size_t wire_bytes);
+
+}  // namespace ilp::rpc

@@ -1,0 +1,45 @@
+#include "rpc/trailer.h"
+
+#include "util/contracts.h"
+#include "util/endian.h"
+
+namespace ilp::rpc {
+
+trailer_layout layout_trailer_message(std::size_t body_bytes) {
+    trailer_layout layout;
+    layout.body_bytes = body_bytes;
+    layout.wire_bytes =
+        align_up(body_bytes + trailer_bytes, core::encryption_unit_bytes);
+    layout.padding_bytes = layout.wire_bytes - body_bytes - trailer_bytes;
+    return layout;
+}
+
+core::gather_source make_trailer_source(const core::gather_source& body,
+                                        trailer_staging& staging) {
+    const trailer_layout layout = layout_trailer_message(body.total_size());
+    store_be32(staging.bytes,
+               static_cast<std::uint32_t>(layout.body_bytes));
+    store_be32(staging.bytes + 4, trailer_magic);
+
+    core::gather_source src;
+    for (const core::gather_segment& seg : body.segments()) {
+        src.append_raw(seg);
+    }
+    if (layout.padding_bytes > 0) src.add_zeros(layout.padding_bytes);
+    src.add({staging.bytes, trailer_bytes});
+    ILP_ENSURE(src.total_size() == layout.wire_bytes);
+    return src;
+}
+
+std::optional<std::size_t> read_trailer(std::span<const std::byte> last_block,
+                                        std::size_t wire_bytes) {
+    if (last_block.size() != trailer_bytes) return std::nullopt;
+    if (load_be32(last_block.data() + 4) != trailer_magic) return std::nullopt;
+    const std::size_t body = load_be32(last_block.data());
+    if (layout_trailer_message(body).wire_bytes != wire_bytes) {
+        return std::nullopt;
+    }
+    return body;
+}
+
+}  // namespace ilp::rpc

@@ -1,0 +1,64 @@
+// Trailer framing — the paper's proposed future-work message format.
+//
+// §3.1/§5: "a length field at the end of the encrypted message as done in
+// other security protocols would simplify an ILP implementation" and
+// "trailers for data dependent fields could be advantageous for ILP,
+// although trailers make parsing of protocol information more complex."
+//
+// With the length *after* the data, the sender processes the message
+// strictly front to back in a single pipeline run — no part A/B/C
+// reordering (Fig. 4) — which also makes *ordering-constrained* stages
+// (CRC-32, stream ciphers) fusable on the send path, something header
+// framing forbids.  The cost appears on the receiver: the length is
+// discovered last, so either the last cipher block is decrypted first
+// (fine for block ciphers) or the whole message is decrypted before its
+// structure is known (the only option for stream ciphers).
+//
+// Wire layout (everything encrypted, 8-byte aligned):
+//
+//     [ marshalled body | zero padding | length u32 | magic u32 ]
+//                                        `-- final 8-byte block --'
+//
+// The magic word lets the receiver sanity-check a decrypted trailer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/gather.h"
+#include "core/message_plan.h"
+#include "util/alignment.h"
+
+namespace ilp::rpc {
+
+inline constexpr std::uint32_t trailer_magic = 0x494c5054;  // "ILPT"
+inline constexpr std::size_t trailer_bytes = 8;  // length + magic
+
+struct trailer_layout {
+    std::size_t body_bytes = 0;
+    std::size_t padding_bytes = 0;
+    std::size_t wire_bytes = 0;  // body + padding + trailer, 8-aligned
+};
+
+// Computes the wire layout for a marshalled body of `body_bytes`.
+trailer_layout layout_trailer_message(std::size_t body_bytes);
+
+// Staging for the 8-byte trailer, filled by make_trailer_source.
+struct trailer_staging {
+    alignas(8) std::byte bytes[trailer_bytes];
+};
+
+// Builds the complete linear gather: body + generated padding + trailer.
+// Unlike the header framing, the result is processed in one front-to-back
+// pipeline run.
+core::gather_source make_trailer_source(const core::gather_source& body,
+                                        trailer_staging& staging);
+
+// Decodes a *decrypted* trailer block (the last 8 wire bytes); returns the
+// body length if the magic matches and the length is consistent with
+// `wire_bytes`, nullopt otherwise.
+std::optional<std::size_t> read_trailer(std::span<const std::byte> last_block,
+                                        std::size_t wire_bytes);
+
+}  // namespace ilp::rpc

@@ -1,0 +1,79 @@
+#include "stats/table.h"
+
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace ilp::stats {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    ILP_EXPECT(!headers_.empty());
+}
+
+table& table::row() {
+    rows_.emplace_back();
+    return *this;
+}
+
+table& table::cell(std::string value) {
+    ILP_EXPECT(!rows_.empty());
+    ILP_EXPECT(rows_.back().size() < headers_.size());
+    rows_.back().push_back(std::move(value));
+    return *this;
+}
+
+table& table::cell(std::int64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return cell(std::string(buf));
+}
+
+table& table::cell(std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(value));
+    return cell(std::string(buf));
+}
+
+table& table::cell(double value, int precision) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+std::string table::render() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            widths[c] = std::max(widths[c], r[c].size());
+        }
+    }
+
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : std::string{};
+            out += "  ";
+            out += v;
+            out.append(widths[c] - v.size(), ' ');
+        }
+        out += '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (const auto w : widths) total += w + 2;
+    out.append(total, '-');
+    out += '\n';
+    for (const auto& r : rows_) emit_row(r);
+    return out;
+}
+
+void table::print() const { std::fputs(render().c_str(), stdout); }
+
+double percent_gain(double non_ilp, double ilp) {
+    if (non_ilp == 0.0) return 0.0;
+    return (non_ilp - ilp) / non_ilp * 100.0;
+}
+
+}  // namespace ilp::stats

@@ -1,0 +1,41 @@
+// Fixed-width text table printer shared by the benchmark harnesses.
+//
+// Every bench binary regenerating a paper figure prints a table with the
+// paper's reported values next to the measured/simulated ones, so the shape
+// comparison is visible directly in the bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ilp::stats {
+
+class table {
+public:
+    explicit table(std::vector<std::string> headers);
+
+    // Starts a new row; cell() appends to the current row.
+    table& row();
+    table& cell(std::string value);
+    table& cell(std::int64_t value);
+    table& cell(std::uint64_t value);
+    table& cell(double value, int precision = 2);
+
+    // Renders with column widths fitted to content, one separator line
+    // between header and body.
+    std::string render() const;
+
+    // Convenience: render and write to stdout.
+    void print() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+// Percentage difference "(base - other) / base * 100", the quantity the
+// paper quotes as the ILP gain (e.g. "58 us (16 %) less").
+double percent_gain(double non_ilp, double ilp);
+
+}  // namespace ilp::stats

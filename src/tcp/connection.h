@@ -1,0 +1,492 @@
+// User-level TCP: unidirectional bulk-data connections over the datagram
+// substrate.
+//
+// This reproduces the paper's specialised user-level TCP (§3.1):
+//   * fixed 20-byte headers (no options),
+//   * unidirectional data transfer per connection (ACKs flow back through
+//     the reverse pipe),
+//   * ALF: one TSDU maps to exactly one TPDU, so message boundaries survive
+//     and the receive path never reassembles,
+//   * a ring retransmission buffer the send-side ILP loop writes into
+//     directly (§3.2.2),
+//   * go-back-N retransmission on a fixed RTO over the virtual clock.
+//
+// The data manipulations themselves are *not* in this module: tcp_sender
+// accepts a payload filler (the application's ILP or layered send path) and
+// tcp_receiver hands the payload to a message processor (the application's
+// receive path) between the initial and final processing stages — the
+// three-stage decomposition of core/three_stage.h.
+//
+// Everything is templated on the memory-access policy, so the same engine
+// runs natively (direct_memory) for wall-clock benchmarks and instrumented
+// (sim_memory) under the cache simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "buffer/ring_buffer.h"
+#include "checksum/internet_checksum.h"
+#include "memsim/mem_policy.h"
+#include "net/datagram.h"
+#include "tcp/header.h"
+#include "util/contracts.h"
+#include "util/virtual_clock.h"
+
+namespace ilp::tcp {
+
+// 32-bit sequence-space comparisons (wraparound-safe).
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+struct connection_config {
+    std::uint32_t local_addr = 0x0a000001;   // 10.0.0.1
+    std::uint32_t remote_addr = 0x0a000002;  // 10.0.0.2
+    std::uint16_t local_port = 5001;
+    std::uint16_t remote_port = 5002;
+    std::uint32_t initial_seq = 0;
+    std::size_t send_buffer_bytes = 16 * 1024;  // retransmission ring
+    std::size_t recv_window_bytes = 16 * 1024;  // advertised window
+    sim_time rto_us = 200'000;  // fixed RTO, and the initial adaptive RTO
+    unsigned max_retries = 8;
+
+    // Adaptive retransmission timing (Jacobson's algorithm with Karn's
+    // rule, RFC 6298): RTO = SRTT + 4*RTTVAR, exponentially backed off on
+    // timeout.  Off by default so simulation experiments stay on the
+    // paper's fixed-timer behaviour.
+    bool adaptive_rto = false;
+    sim_time min_rto_us = 2'000;
+    sim_time max_rto_us = 10'000'000;
+
+    // Zero-copy adapter model (paper refs [12]-[15]): the system copy at
+    // the domain boundary disappears (fbufs / page remapping); crossings
+    // and all protocol processing remain.
+    bool zero_copy = false;
+};
+
+// The peer's view of the same connection (swapped addresses and ports);
+// hand the same base config to both ends and mirror one of them.
+inline connection_config mirrored(const connection_config& c) {
+    connection_config m = c;
+    std::swap(m.local_addr, m.remote_addr);
+    std::swap(m.local_port, m.remote_port);
+    return m;
+}
+
+struct sender_stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t segments_transmitted = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t bad_acks = 0;  // checksum/parse failures on ACK packets
+    std::uint64_t send_blocked = 0;  // send_message refused: no buffer/window
+};
+
+struct receiver_stats {
+    std::uint64_t segments_received = 0;
+    std::uint64_t messages_accepted = 0;
+    std::uint64_t checksum_failures = 0;
+    std::uint64_t app_reject_failures = 0;
+    std::uint64_t out_of_order_drops = 0;
+    std::uint64_t duplicate_drops = 0;
+    std::uint64_t header_failures = 0;
+    std::uint64_t acks_sent = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sender
+
+template <memsim::memory_policy Mem>
+class tcp_sender {
+public:
+    tcp_sender(const Mem& mem, virtual_clock& clock, net::datagram_pipe& out,
+               const connection_config& config)
+        : mem_(mem),
+          clock_(&clock),
+          out_(&out),
+          config_(config),
+          ring_(config.send_buffer_bytes),
+          snd_una_(config.initial_seq),
+          snd_nxt_(config.initial_seq),
+          peer_window_(config.recv_window_bytes) {}
+
+    tcp_sender(const tcp_sender&) = delete;
+    tcp_sender& operator=(const tcp_sender&) = delete;
+
+    // Space the next message may occupy right now (paper §3.2.2: when the
+    // retransmission buffer is full of unacknowledged data, all data
+    // manipulations are delayed until space is available again).
+    std::size_t sendable_bytes() const noexcept {
+        const std::size_t in_flight = snd_nxt_ - snd_una_;
+        const std::size_t window_left =
+            peer_window_ > in_flight ? peer_window_ - in_flight : 0;
+        return std::min(ring_.free_space(), window_left);
+    }
+
+    // Sends one application message as exactly one TPDU (ALF).  `fill`
+    // receives the ring reservation and writes `wire_len` payload bytes into
+    // it through this connection's memory policy; it returns the folded
+    // payload checksum if the data path accumulated one (the ILP loop), or
+    // nullopt to request the separate tcp_output checksum pass (the non-ILP
+    // path).  Returns false — without running `fill` — when buffer or peer
+    // window space is insufficient.
+    template <typename Filler>
+    bool send_message(std::size_t wire_len, Filler&& fill) {
+        ILP_EXPECT(wire_len > 0);
+        ILP_EXPECT(wire_len + header_bytes <= net::datagram_pipe::max_packet_bytes);
+        if (wire_len > sendable_bytes()) {
+            ++stats_.send_blocked;
+            return false;
+        }
+        const ring_span dst = ring_.reserve(wire_len);
+        std::optional<std::uint16_t> payload_sum = fill(dst);
+        ring_.commit(wire_len);
+
+        segment_meta meta;
+        meta.seq = snd_nxt_;
+        meta.len = wire_len;
+        if (payload_sum.has_value()) {
+            meta.payload_sum = *payload_sum;
+        } else {
+            // tcp_output's own checksum pass over the ring (non-ILP step 4).
+            meta.payload_sum = checksum_over_ring(snd_nxt_ - snd_una_, wire_len);
+        }
+        meta.first_sent_at = clock_->now();
+        unacked_.push_back(meta);
+        snd_nxt_ += static_cast<std::uint32_t>(wire_len);
+        ++stats_.messages_sent;
+        transmit(meta);
+        arm_rto();
+        return true;
+    }
+
+    // Handles an arriving ACK packet (kernel memory span from the reverse
+    // pipe).  Performs the receive-side system copy of the ACK — in a
+    // user-level TCP even pure ACKs cross the kernel/user boundary, the
+    // overhead the paper singles out in §4.1.
+    void on_ack_packet(std::span<const std::byte> kernel_packet) {
+        if (kernel_packet.size() < header_bytes) {
+            ++stats_.bad_acks;
+            return;
+        }
+        mem_.copy(ack_buffer_, kernel_packet.data(), header_bytes);
+        header_fields h;
+        if (!parse_header({ack_buffer_, header_bytes}, h) ||
+            h.dst_port != config_.local_port ||
+            h.src_port != config_.remote_port ||
+            (h.control & flags::ack) == 0 ||
+            !verify_segment_checksum(config_.remote_addr, config_.local_addr,
+                                     {ack_buffer_, header_bytes}, 0, 0)) {
+            ++stats_.bad_acks;
+            return;
+        }
+        ++stats_.acks_received;
+        peer_window_ = h.window;
+        if (seq_leq(h.ack, snd_una_)) return;  // duplicate ACK
+        ILP_EXPECT(seq_leq(h.ack, snd_nxt_));
+        // Release fully acknowledged segments (ALF: ACKs fall on segment
+        // boundaries because the receiver accepts whole TPDUs only).
+        while (!unacked_.empty() &&
+               seq_leq(unacked_.front().seq +
+                           static_cast<std::uint32_t>(unacked_.front().len),
+                       h.ack)) {
+            const segment_meta& acked = unacked_.front();
+            if (!acked.retransmitted) {
+                // Karn's rule: only unambiguous (never-retransmitted)
+                // segments contribute RTT samples.
+                record_rtt_sample(clock_->now() - acked.first_sent_at);
+            }
+            ring_.release(acked.len);
+            snd_una_ += static_cast<std::uint32_t>(acked.len);
+            unacked_.pop_front();
+        }
+        retries_ = 0;
+        backoff_shift_ = 0;
+        disarm_rto();
+        if (!unacked_.empty()) arm_rto();
+    }
+
+    bool idle() const noexcept { return unacked_.empty(); }
+    // Smoothed RTT estimate in microseconds (0 until the first sample).
+    double smoothed_rtt_us() const noexcept { return have_rtt_ ? srtt_us_ : 0; }
+    sim_time effective_rto_us() const noexcept { return current_rto(); }
+    bool failed() const noexcept { return failed_; }
+    std::uint32_t next_seq() const noexcept { return snd_nxt_; }
+    const sender_stats& stats() const noexcept { return stats_; }
+    const ring_buffer& ring() const noexcept { return ring_; }
+
+private:
+    struct segment_meta {
+        std::uint32_t seq = 0;
+        std::size_t len = 0;
+        std::uint16_t payload_sum = 0;  // folded payload checksum
+        sim_time first_sent_at = 0;
+        bool retransmitted = false;  // Karn's rule: no RTT sample then
+    };
+
+    std::uint16_t checksum_over_ring(std::size_t offset, std::size_t len) {
+        checksum::inet_accumulator acc;
+        const const_ring_span view = ring_.peek(offset, len);
+        acc.add_bytes(mem_, view.first, 8);
+        if (!view.second.empty()) acc.add_bytes(mem_, view.second, 8);
+        return acc.folded();
+    }
+
+    // tcp_output: header build, checksum completion, system copy to the
+    // kernel part.
+    void transmit(const segment_meta& meta) {
+        header_fields h;
+        h.src_port = config_.local_port;
+        h.dst_port = config_.remote_port;
+        h.seq = meta.seq;
+        h.control = flags::psh;
+        h.window = 0;  // no reverse data flow on this connection
+        serialize_header(h, {header_buffer_, header_bytes});
+        const std::uint16_t cksum = finish_segment_checksum(
+            config_.local_addr, config_.remote_addr,
+            {header_buffer_, header_bytes}, meta.payload_sum, meta.len);
+        store_be16(header_buffer_ + 16, cksum);
+
+        const const_ring_span payload =
+            ring_.peek(meta.seq - snd_una_, meta.len);
+        const std::span<const std::byte> header_span{header_buffer_,
+                                                     header_bytes};
+        if (config_.zero_copy) {
+            out_->send_zero_copy({header_span, payload.first, payload.second});
+        } else {
+            out_->send(mem_, {header_span, payload.first, payload.second});
+        }
+        ++stats_.segments_transmitted;
+    }
+
+    void arm_rto() {
+        if (rto_token_ != 0 || unacked_.empty() || failed_) return;
+        rto_token_ = clock_->schedule_after(current_rto(), [this] {
+            rto_token_ = 0;
+            on_rto();
+        });
+    }
+
+    // Jacobson's algorithm (RFC 6298): SRTT/RTTVAR smoothing with
+    // alpha = 1/8, beta = 1/4.
+    void record_rtt_sample(sim_time sample_us) {
+        if (!have_rtt_) {
+            srtt_us_ = static_cast<double>(sample_us);
+            rttvar_us_ = static_cast<double>(sample_us) / 2.0;
+            have_rtt_ = true;
+            return;
+        }
+        const double err = static_cast<double>(sample_us) - srtt_us_;
+        rttvar_us_ += ((err < 0 ? -err : err) - rttvar_us_) / 4.0;
+        srtt_us_ += err / 8.0;
+    }
+
+    sim_time current_rto() const {
+        if (!config_.adaptive_rto) return config_.rto_us;
+        sim_time base = have_rtt_
+                            ? static_cast<sim_time>(srtt_us_ + 4.0 * rttvar_us_)
+                            : config_.rto_us;
+        if (base < config_.min_rto_us) base = config_.min_rto_us;
+        // Exponential backoff while retransmitting.
+        for (unsigned i = 0; i < backoff_shift_ && base < config_.max_rto_us;
+             ++i) {
+            base *= 2;
+        }
+        return base > config_.max_rto_us ? config_.max_rto_us : base;
+    }
+
+    void disarm_rto() {
+        if (rto_token_ != 0) {
+            clock_->cancel(rto_token_);
+            rto_token_ = 0;
+        }
+    }
+
+    void on_rto() {
+        if (unacked_.empty()) return;
+        if (++retries_ > config_.max_retries) {
+            failed_ = true;
+            return;
+        }
+        // Go-back-N: retransmit everything outstanding, with timer backoff.
+        if (backoff_shift_ < 16) ++backoff_shift_;
+        for (segment_meta& meta : unacked_) {
+            meta.retransmitted = true;
+            transmit(meta);
+            ++stats_.retransmissions;
+        }
+        arm_rto();
+    }
+
+    Mem mem_;
+    virtual_clock* clock_;
+    net::datagram_pipe* out_;
+    connection_config config_;
+    ring_buffer ring_;
+    std::deque<segment_meta> unacked_;
+    std::uint32_t snd_una_;
+    std::uint32_t snd_nxt_;
+    std::size_t peer_window_;
+    std::uint64_t rto_token_ = 0;
+    unsigned retries_ = 0;
+    unsigned backoff_shift_ = 0;
+    bool have_rtt_ = false;
+    double srtt_us_ = 0;
+    double rttvar_us_ = 0;
+    bool failed_ = false;
+    sender_stats stats_;
+    alignas(8) std::byte header_buffer_[header_bytes] = {};
+    alignas(8) std::byte ack_buffer_[header_bytes] = {};
+};
+
+// ---------------------------------------------------------------------------
+// Receiver
+
+// Result of the application's receive-side data manipulation over one
+// payload: the folded payload checksum its loop (or pass) accumulated, plus
+// whether the application-level decode succeeded.
+struct rx_process_result {
+    std::uint16_t payload_sum = 0;
+    bool ok = false;
+};
+
+template <memsim::memory_policy Mem>
+class tcp_receiver {
+public:
+    // `process` is the application data path: it runs over the payload in
+    // the receive buffer *before* TCP control commits anything (the paper
+    // places data manipulations directly after the system copy, §3.2.3).
+    // The span is mutable because the non-ILP path decrypts the receive
+    // buffer in place (Fig. 5 step 3).  `on_accept` fires in the final
+    // stage for every delivered message.
+    using processor =
+        std::function<rx_process_result(std::span<std::byte> payload)>;
+    using accept_handler = std::function<void(std::size_t payload_len)>;
+
+    tcp_receiver(const Mem& mem, virtual_clock& clock,
+                 net::datagram_pipe& ack_out, const connection_config& config)
+        : mem_(mem),
+          clock_(&clock),
+          ack_out_(&ack_out),
+          config_(config),
+          recv_buffer_(net::datagram_pipe::max_packet_bytes),
+          rcv_nxt_(config.initial_seq) {}
+
+    tcp_receiver(const tcp_receiver&) = delete;
+    tcp_receiver& operator=(const tcp_receiver&) = delete;
+
+    void set_processor(processor process) { process_ = std::move(process); }
+    void set_accept_handler(accept_handler h) { on_accept_ = std::move(h); }
+
+    // tcp_input: one arriving TPDU in kernel memory.
+    void on_packet(std::span<const std::byte> kernel_packet) {
+        ++stats_.segments_received;
+
+        // --- system copy (Fig. 5 step 1): kernel buffer -> receive buffer.
+        if (kernel_packet.size() < header_bytes ||
+            kernel_packet.size() > recv_buffer_.size()) {
+            ++stats_.header_failures;
+            return;
+        }
+        if (config_.zero_copy) {
+            // Zero-copy receive: the kernel buffer is remapped into user
+            // space instead of copied (uncounted transfer).
+            std::memcpy(recv_buffer_.data(), kernel_packet.data(),
+                        kernel_packet.size());
+        } else {
+            mem_.copy(recv_buffer_.data(), kernel_packet.data(),
+                      kernel_packet.size());
+        }
+        const std::size_t payload_len = kernel_packet.size() - header_bytes;
+
+        // --- initial stage: parse + demultiplex + sequence check.
+        header_fields h;
+        if (!parse_header(recv_buffer_.subspan(0, header_bytes), h) ||
+            h.dst_port != config_.local_port ||
+            h.src_port != config_.remote_port) {
+            ++stats_.header_failures;
+            return;
+        }
+        if (h.seq != rcv_nxt_) {
+            // Old duplicate or future segment (go-back-N: not buffered).
+            if (seq_lt(h.seq, rcv_nxt_)) {
+                ++stats_.duplicate_drops;
+            } else {
+                ++stats_.out_of_order_drops;
+            }
+            send_ack();  // re-advertise rcv_nxt so the sender resynchronises
+            return;
+        }
+        if (payload_len == 0) return;  // nothing to deliver
+
+        // --- ILP loop stage: the application's data manipulations run over
+        // the payload now, before any TCP state is committed.
+        ILP_EXPECT(process_ != nullptr);
+        const rx_process_result result =
+            process_(recv_buffer_.subspan(header_bytes, payload_len));
+
+        // --- final stage: accept or reject.
+        const bool checksum_ok = verify_segment_checksum(
+            config_.remote_addr, config_.local_addr,
+            recv_buffer_.subspan(0, header_bytes), result.payload_sum,
+            payload_len);
+        if (!checksum_ok) {
+            ++stats_.checksum_failures;
+            send_ack();
+            return;
+        }
+        if (!result.ok) {
+            // Data passed the checksum but failed application decode; the
+            // message is consumed (it was correctly transferred) but counted
+            // as an application-level failure.
+            ++stats_.app_reject_failures;
+        }
+        rcv_nxt_ += static_cast<std::uint32_t>(payload_len);
+        ++stats_.messages_accepted;
+        send_ack();
+        if (result.ok && on_accept_ != nullptr) on_accept_(payload_len);
+    }
+
+    std::uint32_t expected_seq() const noexcept { return rcv_nxt_; }
+    const receiver_stats& stats() const noexcept { return stats_; }
+
+private:
+    void send_ack() {
+        header_fields h;
+        h.src_port = config_.local_port;
+        h.dst_port = config_.remote_port;
+        h.ack = rcv_nxt_;
+        h.control = flags::ack;
+        h.window = static_cast<std::uint16_t>(
+            std::min<std::size_t>(config_.recv_window_bytes, 0xffff));
+        serialize_header(h, {ack_buffer_, header_bytes});
+        const std::uint16_t cksum = finish_segment_checksum(
+            config_.local_addr, config_.remote_addr, {ack_buffer_, header_bytes},
+            0, 0);
+        store_be16(ack_buffer_ + 16, cksum);
+        ack_out_->send(mem_,
+                       {std::span<const std::byte>{ack_buffer_, header_bytes}});
+        ++stats_.acks_sent;
+    }
+
+    Mem mem_;
+    virtual_clock* clock_;
+    net::datagram_pipe* ack_out_;
+    connection_config config_;
+    byte_buffer recv_buffer_;
+    std::uint32_t rcv_nxt_;
+    processor process_;
+    accept_handler on_accept_;
+    receiver_stats stats_;
+    alignas(8) std::byte ack_buffer_[header_bytes] = {};
+};
+
+}  // namespace ilp::tcp

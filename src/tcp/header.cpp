@@ -1,0 +1,82 @@
+#include "tcp/header.h"
+
+#include "memsim/mem_policy.h"
+#include "util/contracts.h"
+#include "util/endian.h"
+
+namespace ilp::tcp {
+
+void serialize_header(const header_fields& h, std::span<std::byte> out) {
+    ILP_EXPECT(out.size() >= header_bytes);
+    std::byte* p = out.data();
+    store_be16(p + 0, h.src_port);
+    store_be16(p + 2, h.dst_port);
+    store_be32(p + 4, h.seq);
+    store_be32(p + 8, h.ack);
+    p[12] = std::byte{5 << 4};  // data offset = 5 words, no options
+    p[13] = static_cast<std::byte>(h.control);
+    store_be16(p + 14, h.window);
+    store_be16(p + 16, h.checksum);
+    store_be16(p + 18, h.urgent);
+}
+
+bool parse_header(std::span<const std::byte> in, header_fields& out) {
+    if (in.size() < header_bytes) return false;
+    const std::byte* p = in.data();
+    if ((std::to_integer<unsigned>(p[12]) >> 4) != 5) return false;
+    out.src_port = load_be16(p + 0);
+    out.dst_port = load_be16(p + 2);
+    out.seq = load_be32(p + 4);
+    out.ack = load_be32(p + 8);
+    out.control = std::to_integer<std::uint8_t>(p[13]);
+    out.window = load_be16(p + 14);
+    out.checksum = load_be16(p + 16);
+    out.urgent = load_be16(p + 18);
+    return true;
+}
+
+void accumulate_pseudo_header(checksum::inet_accumulator& acc,
+                              std::uint32_t src_addr, std::uint32_t dst_addr,
+                              std::uint16_t tcp_length) {
+    acc.add_be16(static_cast<std::uint16_t>(src_addr >> 16));
+    acc.add_be16(static_cast<std::uint16_t>(src_addr & 0xffff));
+    acc.add_be16(static_cast<std::uint16_t>(dst_addr >> 16));
+    acc.add_be16(static_cast<std::uint16_t>(dst_addr & 0xffff));
+    acc.add_be16(6);  // zero byte + protocol number (TCP)
+    acc.add_be16(tcp_length);
+}
+
+void accumulate_header(checksum::inet_accumulator& acc,
+                       std::span<const std::byte> header) {
+    ILP_EXPECT(header.size() == header_bytes);
+    acc.add_bytes(memsim::direct_memory{}, header, 2);
+}
+
+std::uint16_t finish_segment_checksum(std::uint32_t src_addr,
+                                      std::uint32_t dst_addr,
+                                      std::span<const std::byte> header,
+                                      std::uint16_t payload_sum_folded,
+                                      std::size_t payload_len) {
+    checksum::inet_accumulator acc;
+    accumulate_pseudo_header(
+        acc, src_addr, dst_addr,
+        static_cast<std::uint16_t>(header_bytes + payload_len));
+    accumulate_header(acc, header);
+    acc.add_be16(payload_sum_folded);
+    return acc.finish();
+}
+
+bool verify_segment_checksum(std::uint32_t src_addr, std::uint32_t dst_addr,
+                             std::span<const std::byte> header,
+                             std::uint16_t payload_sum_folded,
+                             std::size_t payload_len) {
+    checksum::inet_accumulator acc;
+    accumulate_pseudo_header(
+        acc, src_addr, dst_addr,
+        static_cast<std::uint16_t>(header_bytes + payload_len));
+    accumulate_header(acc, header);
+    acc.add_be16(payload_sum_folded);
+    return acc.folded() == 0xffff;
+}
+
+}  // namespace ilp::tcp

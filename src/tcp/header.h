@@ -1,0 +1,74 @@
+// TCP segment header — fixed 20 bytes, no options.
+//
+// The paper's user-level TCP "avoids TCP header options to ensure fixed-size
+// headers" (§3.1): a constant header size is one of ILP's applicability
+// preconditions (the loop must know where data starts before it runs).
+// Layout follows RFC 793; the checksum covers the standard pseudo-header,
+// the header itself and the payload.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "checksum/internet_checksum.h"
+
+namespace ilp::tcp {
+
+inline constexpr std::size_t header_bytes = 20;
+
+namespace flags {
+inline constexpr std::uint8_t fin = 0x01;
+inline constexpr std::uint8_t syn = 0x02;
+inline constexpr std::uint8_t rst = 0x04;
+inline constexpr std::uint8_t psh = 0x08;
+inline constexpr std::uint8_t ack = 0x10;
+}  // namespace flags
+
+struct header_fields {
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t control = 0;  // flag bits
+    std::uint16_t window = 0;
+    std::uint16_t checksum = 0;
+    std::uint16_t urgent = 0;
+};
+
+// Writes the 20-byte wire form into `out` (out.size() >= header_bytes).
+void serialize_header(const header_fields& h, std::span<std::byte> out);
+
+// Parses a 20-byte wire header.  Returns false for malformed headers
+// (data offset != 5, i.e. options present, which this stack forbids).
+bool parse_header(std::span<const std::byte> in, header_fields& out);
+
+// Folds the RFC 793 pseudo-header (source/destination address, protocol 6,
+// TCP length) into a checksum accumulator.
+void accumulate_pseudo_header(checksum::inet_accumulator& acc,
+                              std::uint32_t src_addr, std::uint32_t dst_addr,
+                              std::uint16_t tcp_length);
+
+// Folds the 20 header bytes into the accumulator (control-plane pass; the
+// header is tiny and freshly written, so this models register/cache work).
+void accumulate_header(checksum::inet_accumulator& acc,
+                       std::span<const std::byte> header);
+
+// Computes the checksum field value for a segment whose *payload* sum has
+// already been folded (one's-complement arithmetic lets the payload sum be
+// produced elsewhere — by the ILP loop's tap or a separate pass — and
+// combined here).  `header` must contain the final header bytes with a zero
+// checksum field.
+std::uint16_t finish_segment_checksum(std::uint32_t src_addr,
+                                      std::uint32_t dst_addr,
+                                      std::span<const std::byte> header,
+                                      std::uint16_t payload_sum_folded,
+                                      std::size_t payload_len);
+
+// Verifies a received segment given the independently accumulated payload
+// sum.  Returns true when the one's-complement total is all ones.
+bool verify_segment_checksum(std::uint32_t src_addr, std::uint32_t dst_addr,
+                             std::span<const std::byte> header,
+                             std::uint16_t payload_sum_folded,
+                             std::size_t payload_len);
+
+}  // namespace ilp::tcp

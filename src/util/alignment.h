@@ -1,0 +1,53 @@
+// Alignment and processing-unit arithmetic.
+//
+// The paper's unit-size negotiation (§2.2): when function fx manipulates
+// Lx-byte units and fy manipulates Ly-byte units, data should be exchanged in
+// units of Le = lcm(Lx, Ly), optionally also folding in a system parameter Ls
+// (memory bus width / cache line size): Le = lcm(Lx, Ly, Ls).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace ilp {
+
+constexpr std::size_t align_up(std::size_t n, std::size_t alignment) noexcept {
+    return (n + alignment - 1) / alignment * alignment;
+}
+
+constexpr std::size_t align_down(std::size_t n, std::size_t alignment) noexcept {
+    return n / alignment * alignment;
+}
+
+constexpr bool is_aligned(std::size_t n, std::size_t alignment) noexcept {
+    return n % alignment == 0;
+}
+
+// Number of padding bytes needed to reach the next multiple of `alignment`.
+constexpr std::size_t padding_for(std::size_t n, std::size_t alignment) noexcept {
+    return align_up(n, alignment) - n;
+}
+
+// Exchanged processing-unit length for two data manipulation functions.
+constexpr std::size_t exchange_unit(std::size_t lx, std::size_t ly) noexcept {
+    return std::lcm(lx, ly);
+}
+
+// Exchanged unit folding in the system parameter Ls (paper §2.2).
+constexpr std::size_t exchange_unit(std::size_t lx, std::size_t ly,
+                                    std::size_t ls) noexcept {
+    return std::lcm(std::lcm(lx, ly), ls);
+}
+
+// lcm over a parameter pack of unit sizes; used by the compile-time pipeline
+// to derive the fused loop's unit Le from all stage unit sizes.
+template <typename... Sizes>
+constexpr std::size_t exchange_unit_of(Sizes... sizes) noexcept {
+    std::size_t result = 1;
+    ((result = std::lcm(result, static_cast<std::size_t>(sizes))), ...);
+    return result;
+}
+
+}  // namespace ilp

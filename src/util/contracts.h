@@ -1,0 +1,41 @@
+// Lightweight contract checking used across the library.
+//
+// ILP_EXPECT / ILP_ENSURE abort with a message on violation; they stay on in
+// release builds because the protocol code validates untrusted input with
+// them only indirectly (untrusted input goes through error returns, contracts
+// guard programmer errors).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ilp::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+    std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, expr, file, line);
+    std::abort();
+}
+
+}  // namespace ilp::detail
+
+#define ILP_EXPECT(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                           \
+            : ::ilp::detail::contract_failure("precondition", #cond,         \
+                                              __FILE__, __LINE__))
+
+#define ILP_ENSURE(cond)                                                     \
+    ((cond) ? static_cast<void>(0)                                           \
+            : ::ilp::detail::contract_failure("postcondition", #cond,        \
+                                              __FILE__, __LINE__))
+
+// The paper implements data manipulations as macros because function calls
+// forfeit the ILP gain (§3.2.1).  The modern equivalent is forced inlining;
+// every per-unit kernel in the fused loop is marked ILP_ALWAYS_INLINE.
+#if defined(__GNUC__) || defined(__clang__)
+#define ILP_ALWAYS_INLINE inline __attribute__((always_inline))
+#define ILP_NEVER_INLINE __attribute__((noinline))
+#else
+#define ILP_ALWAYS_INLINE inline
+#define ILP_NEVER_INLINE
+#endif

@@ -1,0 +1,85 @@
+// Network byte order (big-endian) load/store helpers.
+//
+// All wire formats in the stack (TCP header, RPC header, XDR, encryption
+// length header) are big-endian, per RFC 1014 and the TCP/IP conventions the
+// paper's stack uses.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ilp {
+
+constexpr std::uint16_t load_be16(const std::byte* p) noexcept {
+    return static_cast<std::uint16_t>((std::to_integer<std::uint16_t>(p[0]) << 8) |
+                                      std::to_integer<std::uint16_t>(p[1]));
+}
+
+constexpr std::uint32_t load_be32(const std::byte* p) noexcept {
+    return (std::to_integer<std::uint32_t>(p[0]) << 24) |
+           (std::to_integer<std::uint32_t>(p[1]) << 16) |
+           (std::to_integer<std::uint32_t>(p[2]) << 8) |
+           std::to_integer<std::uint32_t>(p[3]);
+}
+
+constexpr std::uint64_t load_be64(const std::byte* p) noexcept {
+    return (static_cast<std::uint64_t>(load_be32(p)) << 32) | load_be32(p + 4);
+}
+
+constexpr void store_be16(std::byte* p, std::uint16_t v) noexcept {
+    p[0] = static_cast<std::byte>(v >> 8);
+    p[1] = static_cast<std::byte>(v & 0xff);
+}
+
+constexpr void store_be32(std::byte* p, std::uint32_t v) noexcept {
+    p[0] = static_cast<std::byte>(v >> 24);
+    p[1] = static_cast<std::byte>((v >> 16) & 0xff);
+    p[2] = static_cast<std::byte>((v >> 8) & 0xff);
+    p[3] = static_cast<std::byte>(v & 0xff);
+}
+
+constexpr void store_be64(std::byte* p, std::uint64_t v) noexcept {
+    store_be32(p, static_cast<std::uint32_t>(v >> 32));
+    store_be32(p + 4, static_cast<std::uint32_t>(v & 0xffffffffu));
+}
+
+// Host byte-order <-> big-endian conversion for whole words already loaded
+// into a register (used by kernels that read words through a memory-access
+// policy and then need the network-order value).
+constexpr std::uint32_t byteswap32(std::uint32_t v) noexcept {
+    return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+           ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+constexpr std::uint16_t byteswap16(std::uint16_t v) noexcept {
+    return static_cast<std::uint16_t>(((v & 0x00ffu) << 8) | ((v & 0xff00u) >> 8));
+}
+
+constexpr std::uint64_t byteswap64(std::uint64_t v) noexcept {
+    return (static_cast<std::uint64_t>(byteswap32(static_cast<std::uint32_t>(v))) << 32) |
+           byteswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+constexpr bool host_is_little_endian() noexcept {
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+// Host word -> network order.
+constexpr std::uint32_t host_to_be32(std::uint32_t v) noexcept {
+    return host_is_little_endian() ? byteswap32(v) : v;
+}
+constexpr std::uint32_t be32_to_host(std::uint32_t v) noexcept {
+    return host_to_be32(v);
+}
+constexpr std::uint16_t host_to_be16(std::uint16_t v) noexcept {
+    return host_is_little_endian() ? byteswap16(v) : v;
+}
+constexpr std::uint16_t be16_to_host(std::uint16_t v) noexcept {
+    return host_to_be16(v);
+}
+
+}  // namespace ilp

@@ -1,0 +1,60 @@
+// Fixed-capacity inline vector (no heap allocation).
+//
+// Used on the per-packet fast path (gather/scatter segment lists, message
+// part schedules) where allocation would distort both the wall-clock
+// benchmarks and the simulated memory traffic.
+#pragma once
+
+#include <cstddef>
+
+#include "util/contracts.h"
+
+namespace ilp {
+
+template <typename T, std::size_t Capacity>
+class fixed_vector {
+public:
+    using value_type = T;
+
+    fixed_vector() = default;
+
+    std::size_t size() const noexcept { return size_; }
+    static constexpr std::size_t capacity() noexcept { return Capacity; }
+    bool empty() const noexcept { return size_ == 0; }
+    bool full() const noexcept { return size_ == Capacity; }
+
+    void push_back(const T& value) {
+        ILP_EXPECT(size_ < Capacity);
+        items_[size_++] = value;
+    }
+
+    void clear() noexcept { size_ = 0; }
+
+    T& operator[](std::size_t i) {
+        ILP_EXPECT(i < size_);
+        return items_[i];
+    }
+    const T& operator[](std::size_t i) const {
+        ILP_EXPECT(i < size_);
+        return items_[i];
+    }
+
+    T& back() {
+        ILP_EXPECT(size_ > 0);
+        return items_[size_ - 1];
+    }
+
+    T* data() noexcept { return items_; }
+    const T* data() const noexcept { return items_; }
+
+    T* begin() noexcept { return items_; }
+    T* end() noexcept { return items_ + size_; }
+    const T* begin() const noexcept { return items_; }
+    const T* end() const noexcept { return items_ + size_; }
+
+private:
+    T items_[Capacity] = {};
+    std::size_t size_ = 0;
+};
+
+}  // namespace ilp

@@ -1,0 +1,47 @@
+#include "util/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ilp {
+
+std::string hexdump(std::span<const std::byte> data) {
+    std::string out;
+    char line[128];
+    for (std::size_t offset = 0; offset < data.size(); offset += 16) {
+        const std::size_t n = std::min<std::size_t>(16, data.size() - offset);
+        int pos = std::snprintf(line, sizeof line, "%08zx  ", offset);
+        for (std::size_t i = 0; i < 16; ++i) {
+            if (i < n) {
+                pos += std::snprintf(line + pos, sizeof line - pos, "%02x ",
+                                     std::to_integer<unsigned>(data[offset + i]));
+            } else {
+                pos += std::snprintf(line + pos, sizeof line - pos, "   ");
+            }
+            if (i == 7) pos += std::snprintf(line + pos, sizeof line - pos, " ");
+        }
+        pos += std::snprintf(line + pos, sizeof line - pos, " |");
+        for (std::size_t i = 0; i < n; ++i) {
+            const int c = std::to_integer<int>(data[offset + i]);
+            line[pos++] = std::isprint(c) ? static_cast<char>(c) : '.';
+        }
+        line[pos++] = '|';
+        line[pos++] = '\n';
+        out.append(line, static_cast<std::size_t>(pos));
+    }
+    return out;
+}
+
+std::string to_hex(std::span<const std::byte> data) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (const std::byte b : data) {
+        const unsigned v = std::to_integer<unsigned>(b);
+        out.push_back(digits[v >> 4]);
+        out.push_back(digits[v & 0xf]);
+    }
+    return out;
+}
+
+}  // namespace ilp

@@ -1,0 +1,17 @@
+// Debug formatting of byte ranges ("xxd"-style), used by tests and examples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace ilp {
+
+// Formats `data` as offset / hex bytes / printable-ASCII columns, 16 bytes
+// per line.
+std::string hexdump(std::span<const std::byte> data);
+
+// Compact lowercase hex string without separators ("deadbeef").
+std::string to_hex(std::span<const std::byte> data);
+
+}  // namespace ilp

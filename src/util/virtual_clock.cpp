@@ -1,0 +1,58 @@
+#include "util/virtual_clock.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace ilp {
+
+void virtual_clock::advance(sim_time delta_us) { advance_to(now_us_ + delta_us); }
+
+void virtual_clock::advance_to(sim_time deadline_us) {
+    ILP_EXPECT(deadline_us >= now_us_);
+    // Fire timers in deadline order up to the target time.  Timer callbacks
+    // may schedule new timers; those fire too if due before the target.
+    for (;;) {
+        timer* next = nullptr;
+        for (auto& t : timers_) {
+            if (t.cancelled || t.deadline > deadline_us) continue;
+            if (next == nullptr || t.deadline < next->deadline ||
+                (t.deadline == next->deadline && t.token < next->token)) {
+                next = &t;
+            }
+        }
+        if (next == nullptr) break;
+        now_us_ = std::max(now_us_, next->deadline);
+        auto fn = std::move(next->fn);
+        next->cancelled = true;
+        fn();
+    }
+    now_us_ = deadline_us;
+    std::erase_if(timers_, [](const timer& t) { return t.cancelled; });
+}
+
+std::uint64_t virtual_clock::schedule_at(sim_time deadline_us,
+                                         std::function<void()> fn) {
+    ILP_EXPECT(fn != nullptr);
+    const std::uint64_t token = next_token_++;
+    timers_.push_back(timer{deadline_us, token, std::move(fn)});
+    return token;
+}
+
+bool virtual_clock::cancel(std::uint64_t token) {
+    for (auto& t : timers_) {
+        if (t.token == token && !t.cancelled) {
+            t.cancelled = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::size_t virtual_clock::pending_timers() const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(timers_.begin(), timers_.end(),
+                      [](const timer& t) { return !t.cancelled; }));
+}
+
+}  // namespace ilp

@@ -1,0 +1,133 @@
+#include "xdr/xdr.h"
+
+#include <cstring>
+
+#include "util/endian.h"
+
+namespace ilp::xdr {
+
+std::byte* writer::alloc(std::size_t n) {
+    if (!ok_ || n > out_.size() - pos_) {
+        ok_ = false;
+        return nullptr;
+    }
+    std::byte* p = out_.data() + pos_;
+    pos_ += n;
+    return p;
+}
+
+writer& writer::put_u32(std::uint32_t v) {
+    if (std::byte* p = alloc(4)) store_be32(p, v);
+    return *this;
+}
+
+writer& writer::put_u64(std::uint64_t v) {
+    if (std::byte* p = alloc(8)) store_be64(p, v);
+    return *this;
+}
+
+writer& writer::put_opaque_fixed(std::span<const std::byte> data) {
+    const std::size_t padded = padded_size(data.size());
+    if (std::byte* p = alloc(padded)) {
+        std::memcpy(p, data.data(), data.size());
+        std::memset(p + data.size(), 0, padded - data.size());
+    }
+    return *this;
+}
+
+writer& writer::put_opaque(std::span<const std::byte> data) {
+    put_u32(static_cast<std::uint32_t>(data.size()));
+    return put_opaque_fixed(data);
+}
+
+writer& writer::put_string(std::string_view s) {
+    return put_opaque({reinterpret_cast<const std::byte*>(s.data()), s.size()});
+}
+
+writer& writer::put_i32_array(std::span<const std::int32_t> values) {
+    put_u32(static_cast<std::uint32_t>(values.size()));
+    for (const std::int32_t v : values) put_i32(v);
+    return *this;
+}
+
+std::size_t writer::reserve_u32() {
+    const std::size_t offset = pos_;
+    put_u32(0);
+    return offset;
+}
+
+void writer::patch_u32(std::size_t offset, std::uint32_t v) {
+    if (!ok_ || offset + 4 > pos_) {
+        ok_ = false;
+        return;
+    }
+    store_be32(out_.data() + offset, v);
+}
+
+const std::byte* reader::take(std::size_t n) {
+    if (!ok_ || n > in_.size() - pos_) {
+        ok_ = false;
+        return nullptr;
+    }
+    const std::byte* p = in_.data() + pos_;
+    pos_ += n;
+    return p;
+}
+
+std::uint32_t reader::get_u32() {
+    const std::byte* p = take(4);
+    return p ? load_be32(p) : 0;
+}
+
+std::uint64_t reader::get_u64() {
+    const std::byte* p = take(8);
+    return p ? load_be64(p) : 0;
+}
+
+bool reader::get_bool() {
+    const std::uint32_t v = get_u32();
+    if (v > 1) ok_ = false;  // RFC 1014: bool is 0 or 1
+    return v == 1;
+}
+
+std::span<const std::byte> reader::get_opaque_fixed(std::size_t n) {
+    const std::size_t padded = padded_size(n);
+    const std::byte* p = take(padded);
+    if (p == nullptr) return {};
+    // Padding bytes must be zero per RFC 1014 §3.8.
+    for (std::size_t i = n; i < padded; ++i) {
+        if (p[i] != std::byte{0}) {
+            ok_ = false;
+            return {};
+        }
+    }
+    return {p, n};
+}
+
+std::span<const std::byte> reader::get_opaque(std::size_t max_len) {
+    const std::uint32_t len = get_u32();
+    if (!ok_ || len > max_len || len > remaining()) {
+        ok_ = false;
+        return {};
+    }
+    return get_opaque_fixed(len);
+}
+
+std::string reader::get_string(std::size_t max_len) {
+    const std::span<const std::byte> bytes = get_opaque(max_len);
+    return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+std::vector<std::int32_t> reader::get_i32_array(std::size_t max_count) {
+    const std::uint32_t count = get_u32();
+    if (!ok_ || count > max_count || count * 4ull > remaining()) {
+        ok_ = false;
+        return {};
+    }
+    std::vector<std::int32_t> values;
+    values.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) values.push_back(get_i32());
+    return values;
+}
+
+}  // namespace ilp::xdr

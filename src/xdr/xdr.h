@@ -1,0 +1,111 @@
+// XDR — External Data Representation (RFC 1014).
+//
+// The paper's application messages are produced by a MAVROS-generated
+// marshalling routine that emits XDR: every primitive occupies a multiple of
+// four bytes, integers are big-endian, and variable-length data carries a
+// length word and is padded to a 4-byte boundary.  This module is the
+// control-plane encoder/decoder used for message headers and whole request
+// messages; the ILP data path uses the word-level kernels in
+// core/stage_marshal.h, which produce byte-identical output.
+//
+// Error model: writer/reader carry a sticky `ok()` flag.  Any bounds
+// violation or malformed input clears it; subsequent operations become
+// no-ops returning zero values.  Callers check ok() once after a batch of
+// operations — the natural shape for packet parsing, where every field read
+// would otherwise need its own branch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilp::xdr {
+
+// XDR word size: every encoded item is a multiple of this.
+inline constexpr std::size_t unit_bytes = 4;
+
+constexpr std::size_t padded_size(std::size_t n) noexcept {
+    return (n + unit_bytes - 1) / unit_bytes * unit_bytes;
+}
+
+class writer {
+public:
+    explicit writer(std::span<std::byte> out) : out_(out) {}
+
+    bool ok() const noexcept { return ok_; }
+    std::size_t position() const noexcept { return pos_; }
+    std::size_t remaining() const noexcept { return out_.size() - pos_; }
+
+    writer& put_u32(std::uint32_t v);
+    writer& put_i32(std::int32_t v) {
+        return put_u32(static_cast<std::uint32_t>(v));
+    }
+    writer& put_u64(std::uint64_t v);
+    writer& put_i64(std::int64_t v) {
+        return put_u64(static_cast<std::uint64_t>(v));
+    }
+    writer& put_bool(bool v) { return put_u32(v ? 1 : 0); }
+
+    // Fixed-length opaque: bytes plus zero padding to the next word.
+    writer& put_opaque_fixed(std::span<const std::byte> data);
+
+    // Variable-length opaque: length word, bytes, padding.
+    writer& put_opaque(std::span<const std::byte> data);
+
+    // String: identical wire form to variable-length opaque.
+    writer& put_string(std::string_view s);
+
+    // Array of 32-bit integers with a leading count word.
+    writer& put_i32_array(std::span<const std::int32_t> values);
+
+    // Reserves a word and returns its offset so the caller can patch it
+    // later (used for length fields that depend on data marshalled after
+    // them, the paper's header/data dependency).
+    std::size_t reserve_u32();
+    void patch_u32(std::size_t offset, std::uint32_t v);
+
+private:
+    std::byte* alloc(std::size_t n);
+
+    std::span<std::byte> out_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+class reader {
+public:
+    explicit reader(std::span<const std::byte> in) : in_(in) {}
+
+    bool ok() const noexcept { return ok_; }
+    std::size_t position() const noexcept { return pos_; }
+    std::size_t remaining() const noexcept { return in_.size() - pos_; }
+    bool at_end() const noexcept { return pos_ == in_.size(); }
+
+    std::uint32_t get_u32();
+    std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+    std::uint64_t get_u64();
+    std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+    bool get_bool();
+
+    // Fixed-length opaque of n bytes (plus padding); returns a view into the
+    // input buffer.
+    std::span<const std::byte> get_opaque_fixed(std::size_t n);
+
+    // Variable-length opaque; `max_len` guards against hostile lengths.
+    std::span<const std::byte> get_opaque(std::size_t max_len);
+
+    std::string get_string(std::size_t max_len);
+
+    std::vector<std::int32_t> get_i32_array(std::size_t max_count);
+
+private:
+    const std::byte* take(std::size_t n);
+
+    std::span<const std::byte> in_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace ilp::xdr

@@ -1,0 +1,265 @@
+// End-to-end tests of the file-transfer application: ILP vs layered data
+// paths over the full user-level TCP stack, with byte-exact verification,
+// simulated memory accounting and fault injection.
+#include <gtest/gtest.h>
+
+#include "app/harness.h"
+#include "crypto/safer_k64.h"
+#include "crypto/safer_simplified.h"
+#include "crypto/simple_cipher.h"
+#include "memsim/configs.h"
+
+namespace ilp::app {
+namespace {
+
+using crypto::safer_k64;
+using crypto::safer_simplified;
+using crypto::simple_cipher;
+
+TEST(FileTransfer, IlpModeDeliversFileIntact) {
+    transfer_config config;
+    config.mode = path_mode::ilp;
+    const transfer_result result =
+        run_transfer_native<safer_simplified>(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.payload_bytes_delivered, config.file_bytes);
+    // 15 KB at <=996 B payload per 1024 B packet: 16 reply messages.
+    EXPECT_EQ(result.reply_messages, 16u);
+}
+
+TEST(FileTransfer, LayeredModeDeliversFileIntact) {
+    transfer_config config;
+    config.mode = path_mode::layered;
+    const transfer_result result =
+        run_transfer_native<safer_simplified>(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.payload_bytes_delivered, config.file_bytes);
+}
+
+class FileTransferPacketSizes : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(FileTransferPacketSizes, BothModesCompleteAndAgree) {
+    // Property sweep over the paper's packet-size axis: both implementations
+    // must deliver identical, correct data at every size.
+    for (const path_mode mode : {path_mode::ilp, path_mode::layered}) {
+        transfer_config config;
+        config.mode = mode;
+        config.packet_wire_bytes = GetParam();
+        config.file_bytes = 6 * 1024;
+        const transfer_result result =
+            run_transfer_native<safer_simplified>(config);
+        ASSERT_TRUE(result.completed)
+            << "mode=" << static_cast<int>(mode) << " size=" << GetParam();
+        EXPECT_TRUE(result.verified);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, FileTransferPacketSizes,
+                         ::testing::Values(256, 512, 768, 1024, 1280));
+
+TEST(FileTransfer, AllCiphersWork) {
+    transfer_config config;
+    config.file_bytes = 4 * 1024;
+    {
+        const auto r = run_transfer_native<safer_simplified>(config);
+        EXPECT_TRUE(r.completed && r.verified);
+    }
+    {
+        const auto r = run_transfer_native<simple_cipher>(config);
+        EXPECT_TRUE(r.completed && r.verified);
+    }
+    {
+        const auto r = run_transfer_native<safer_k64>(config);
+        EXPECT_TRUE(r.completed && r.verified);
+    }
+}
+
+TEST(FileTransfer, MultipleCopies) {
+    transfer_config config;
+    config.copies = 3;
+    config.file_bytes = 2048;
+    const transfer_result result =
+        run_transfer_native<safer_simplified>(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.payload_bytes_delivered, 3u * 2048);
+}
+
+TEST(FileTransfer, EmptyFile) {
+    transfer_config config;
+    config.file_bytes = 0;
+    const transfer_result result =
+        run_transfer_native<safer_simplified>(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.payload_bytes_delivered, 0u);
+    EXPECT_EQ(result.reply_messages, 1u);  // one empty reply signals EOF
+}
+
+TEST(FileTransfer, OneBytePayloadPackets) {
+    // Degenerate but legal: smallest wire budget that still carries data.
+    transfer_config config;
+    config.file_bytes = 64;
+    config.packet_wire_bytes = 40;  // 28 header bytes + a few payload bytes
+    const transfer_result result =
+        run_transfer_native<safer_simplified>(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(result.verified);
+}
+
+TEST(FileTransfer, SurvivesLossyLink) {
+    transfer_config config;
+    config.forward_faults.drop_probability = 0.1;
+    config.forward_faults.corrupt_probability = 0.05;
+    config.forward_faults.seed = 3;
+    config.file_bytes = 8 * 1024;
+    const transfer_result result =
+        run_transfer_native<safer_simplified>(config);
+    ASSERT_TRUE(result.completed);
+    EXPECT_TRUE(result.verified);
+    EXPECT_GT(result.reply_tcp_sender.retransmissions, 0u);
+}
+
+TEST(FileTransfer, CorruptionNeverReachesTheApplication) {
+    transfer_config config;
+    config.forward_faults.corrupt_probability = 0.25;
+    config.forward_faults.seed = 17;
+    config.file_bytes = 8 * 1024;
+    for (const path_mode mode : {path_mode::ilp, path_mode::layered}) {
+        config.mode = mode;
+        const transfer_result result =
+            run_transfer_native<safer_simplified>(config);
+        ASSERT_TRUE(result.completed);
+        EXPECT_TRUE(result.verified);
+        EXPECT_GT(result.reply_tcp_receiver.checksum_failures, 0u);
+    }
+}
+
+TEST(FileTransfer, IlpAndLayeredProduceIdenticalWireTraffic) {
+    // The two implementations are alternative *implementations* of the same
+    // protocol: the receiver must not be able to tell them apart, so a
+    // cross-mode transfer (ILP sender, layered receiver and vice versa)
+    // works too.  run_transfer uses one mode end-to-end, so compare both
+    // directions via wire byte counts and message counts instead.
+    transfer_config config;
+    config.file_bytes = 4096;
+    config.mode = path_mode::ilp;
+    const auto ilp = run_transfer_native<safer_simplified>(config);
+    config.mode = path_mode::layered;
+    const auto layered = run_transfer_native<safer_simplified>(config);
+    ASSERT_TRUE(ilp.completed && layered.completed);
+    EXPECT_EQ(ilp.reply_pipe.bytes_sent, layered.reply_pipe.bytes_sent);
+    EXPECT_EQ(ilp.reply_messages, layered.reply_messages);
+    EXPECT_EQ(ilp.server_send.wire_bytes, layered.server_send.wire_bytes);
+}
+
+TEST(FileTransfer, IlpReducesSimulatedMemoryAccessesBothSides) {
+    // The paper's Figure 13 effect at full-application scale: ILP performs
+    // fewer memory accesses on the sending AND the receiving side.
+    transfer_config config;
+    config.file_bytes = 15 * 1024;
+
+    memsim::memory_system ilp_client(memsim::supersparc_with_l2());
+    memsim::memory_system ilp_server(memsim::supersparc_with_l2());
+    config.mode = path_mode::ilp;
+    const auto ilp =
+        run_transfer_simulated<safer_simplified>(config, ilp_client,
+                                                 ilp_server);
+
+    memsim::memory_system lay_client(memsim::supersparc_with_l2());
+    memsim::memory_system lay_server(memsim::supersparc_with_l2());
+    config.mode = path_mode::layered;
+    const auto layered =
+        run_transfer_simulated<safer_simplified>(config, lay_client,
+                                                 lay_server);
+
+    ASSERT_TRUE(ilp.completed && ilp.verified);
+    ASSERT_TRUE(layered.completed && layered.verified);
+
+    const auto ilp_send = ilp_server.data_stats().total_accesses();
+    const auto lay_send = lay_server.data_stats().total_accesses();
+    const auto ilp_recv = ilp_client.data_stats().total_accesses();
+    const auto lay_recv = lay_client.data_stats().total_accesses();
+    EXPECT_LT(ilp_send, lay_send);
+    EXPECT_LT(ilp_recv, lay_recv);
+    // The reduction is substantial (paper: up to ~30 %), not a rounding
+    // artifact.
+    EXPECT_LT(static_cast<double>(ilp_send), 0.9 * static_cast<double>(lay_send));
+    EXPECT_LT(static_cast<double>(ilp_recv), 0.9 * static_cast<double>(lay_recv));
+}
+
+TEST(FileTransfer, SimulatedAndNativeRunsAgreeOnProtocolBehaviour) {
+    // The memory policy must not change observable behaviour: same message
+    // counts, same delivered bytes.
+    transfer_config config;
+    config.file_bytes = 4096;
+    const auto native = run_transfer_native<safer_simplified>(config);
+    memsim::memory_system client_sys(memsim::test_tiny());
+    memsim::memory_system server_sys(memsim::test_tiny());
+    const auto simulated = run_transfer_simulated<safer_simplified>(
+        config, client_sys, server_sys);
+    ASSERT_TRUE(native.completed && simulated.completed);
+    EXPECT_EQ(native.reply_messages, simulated.reply_messages);
+    EXPECT_EQ(native.payload_bytes_delivered,
+              simulated.payload_bytes_delivered);
+    EXPECT_EQ(native.elapsed_us, simulated.elapsed_us);
+}
+
+TEST(FileTransfer, ZeroCopyAdapterDeliversAndCutsTraffic) {
+    // fbufs-style adapter (paper refs [12]-[15]): the transfer still works,
+    // and the counted memory traffic drops by the system copies on both
+    // sides.
+    transfer_config config;
+    config.file_bytes = 8 * 1024;
+
+    memsim::memory_system copy_client(memsim::supersparc_with_l2());
+    memsim::memory_system copy_server(memsim::supersparc_with_l2());
+    const auto copying = run_transfer_simulated<safer_simplified>(
+        config, copy_client, copy_server);
+
+    config.zero_copy = true;
+    memsim::memory_system zc_client(memsim::supersparc_with_l2());
+    memsim::memory_system zc_server(memsim::supersparc_with_l2());
+    const auto zero_copy = run_transfer_simulated<safer_simplified>(
+        config, zc_client, zc_server);
+
+    ASSERT_TRUE(copying.completed && copying.verified);
+    ASSERT_TRUE(zero_copy.completed && zero_copy.verified);
+    EXPECT_EQ(copying.reply_messages, zero_copy.reply_messages);
+    EXPECT_LT(zc_server.data_stats().total_accesses(),
+              copy_server.data_stats().total_accesses());
+    EXPECT_LT(zc_client.data_stats().total_accesses(),
+              copy_client.data_stats().total_accesses());
+}
+
+TEST(FileTransfer, PassStructureMatchesPaperFigures) {
+    // Fig. 3/5 pass inventory: the layered path must show the standalone
+    // passes, the ILP path must fold them into the fused loop.
+    transfer_config config;
+    config.file_bytes = 2048;
+
+    config.mode = path_mode::ilp;
+    const auto ilp = run_transfer_native<safer_simplified>(config);
+    EXPECT_GT(ilp.server_send.fused_loop_bytes, 0u);
+    EXPECT_EQ(ilp.server_send.marshal_pass_bytes, 0u);
+    EXPECT_EQ(ilp.server_send.cipher_pass_bytes, 0u);
+    EXPECT_EQ(ilp.server_send.copy_pass_bytes, 0u);
+    EXPECT_GT(ilp.client_receive.fused_loop_bytes, 0u);
+    EXPECT_EQ(ilp.client_receive.cipher_pass_bytes, 0u);
+
+    config.mode = path_mode::layered;
+    const auto layered = run_transfer_native<safer_simplified>(config);
+    EXPECT_EQ(layered.server_send.fused_loop_bytes, 0u);
+    EXPECT_GT(layered.server_send.marshal_pass_bytes, 0u);
+    EXPECT_GT(layered.server_send.cipher_pass_bytes, 0u);
+    EXPECT_GT(layered.server_send.copy_pass_bytes, 0u);
+    EXPECT_GT(layered.server_send.checksum_pass_bytes, 0u);
+    EXPECT_GT(layered.client_receive.checksum_pass_bytes, 0u);
+    EXPECT_GT(layered.client_receive.cipher_pass_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ilp::app

@@ -1,0 +1,258 @@
+// Property tests for the ILP core: parameterized sweeps asserting the
+// framework's invariants over many shapes of message, segmentation and
+// stage composition.
+//
+//   P1  fused == layered, byte for byte and checksum for checksum, for
+//       every cipher and a sweep of message sizes;
+//   P2  part-order independence: any tiling of a message into 8-aligned
+//       parts, processed in any order, produces the same wire image and
+//       checksum (the general form of the paper's B,C,A claim);
+//   P3  gather/scatter with arbitrary random segmentation round-trips and
+//       equals the contiguous reference;
+//   P4  slicing a gather source at every legal offset equals the full run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "buffer/byte_buffer.h"
+#include "checksum/internet_checksum.h"
+#include "core/fused_pipeline.h"
+#include "core/layered_path.h"
+#include "core/stage.h"
+#include "crypto/safer_k64.h"
+#include "crypto/safer_simplified.h"
+#include "crypto/simple_cipher.h"
+#include "util/rng.h"
+
+namespace ilp::core {
+namespace {
+
+using memsim::direct_memory;
+
+std::array<std::byte, 8> test_key(std::uint64_t seed) {
+    std::array<std::byte, 8> key;
+    rng r(seed);
+    r.fill(key);
+    return key;
+}
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+    std::vector<std::byte> v(n);
+    rng r(seed);
+    r.fill(v);
+    return v;
+}
+
+// ---------------------------------------------------------------------------
+// P1: fused == layered across ciphers and sizes
+
+template <typename Cipher>
+void expect_fused_equals_layered(std::size_t n, std::uint64_t seed) {
+    const auto key = test_key(seed);
+    const Cipher cipher{std::span<const std::byte>(key)};
+    const auto payload = random_bytes(n, seed + 1);
+    const direct_memory mem;
+
+    byte_buffer layered(n);
+    marshal_to_buffer(mem, span_source(payload), layered.span());
+    encrypt_stage<Cipher> enc(cipher);
+    apply_stage_in_place(mem, enc, layered.span());
+    checksum::inet_accumulator layered_acc;
+    checksum_pass(mem, layered_acc, layered.span(), 8);
+
+    byte_buffer fused(n);
+    checksum::inet_accumulator fused_acc;
+    encrypt_stage<Cipher> enc2(cipher);
+    checksum_tap8 tap(fused_acc);
+    auto pipe = make_pipeline(enc2, tap);
+    pipe.run(mem, span_source(payload), span_dest(fused.span()));
+
+    ASSERT_EQ(std::memcmp(layered.data(), fused.data(), n), 0)
+        << "n=" << n << " seed=" << seed;
+    ASSERT_EQ(layered_acc.finish(), fused_acc.finish());
+}
+
+class FusedLayeredEquivalence : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(FusedLayeredEquivalence, SaferSimplified) {
+    expect_fused_equals_layered<crypto::safer_simplified>(GetParam(), 11);
+}
+TEST_P(FusedLayeredEquivalence, SaferFull) {
+    expect_fused_equals_layered<crypto::safer_k64>(GetParam(), 22);
+}
+TEST_P(FusedLayeredEquivalence, SimpleCipher) {
+    expect_fused_equals_layered<crypto::simple_cipher>(GetParam(), 33);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FusedLayeredEquivalence,
+                         ::testing::Values(8, 16, 64, 256, 1024, 1032, 4096,
+                                           16384));
+
+// ---------------------------------------------------------------------------
+// P2: arbitrary 8-aligned tilings processed in arbitrary order
+
+TEST(PartOrderIndependence, RandomTilingsMatchLinear) {
+    const auto key = test_key(44);
+    const crypto::safer_simplified cipher(key);
+    const direct_memory mem;
+    rng r(55);
+
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 8 * (1 + r.next_below(64));  // 8..512 bytes
+        const auto payload = random_bytes(n, 1000 + trial);
+
+        byte_buffer linear(n);
+        checksum::inet_accumulator linear_acc;
+        {
+            encrypt_stage<crypto::safer_simplified> enc(cipher);
+            checksum_tap8 tap(linear_acc);
+            auto pipe = make_pipeline(enc, tap);
+            pipe.run(mem, span_source(payload), span_dest(linear.span()));
+        }
+
+        // Random tiling into 8-aligned parts.
+        std::vector<std::pair<std::size_t, std::size_t>> parts;
+        std::size_t offset = 0;
+        while (offset < n) {
+            const std::size_t len =
+                std::min<std::size_t>(8 * (1 + r.next_below(8)), n - offset);
+            parts.emplace_back(offset, len);
+            offset += len;
+        }
+        // Shuffle the processing order.
+        for (std::size_t i = parts.size(); i > 1; --i) {
+            std::swap(parts[i - 1], parts[r.next_below(i)]);
+        }
+
+        byte_buffer tiled(n);
+        checksum::inet_accumulator tiled_acc;
+        {
+            encrypt_stage<crypto::safer_simplified> enc(cipher);
+            checksum_tap8 tap(tiled_acc);
+            auto pipe = make_pipeline(enc, tap);
+            const gather_source whole = span_source(payload);
+            const scatter_dest dest = span_dest(tiled.span());
+            for (const auto& [part_offset, part_len] : parts) {
+                pipe.run(mem, whole.slice(part_offset, part_len),
+                         dest.slice(part_offset, part_len));
+            }
+        }
+        ASSERT_EQ(std::memcmp(linear.data(), tiled.data(), n), 0)
+            << "trial " << trial;
+        ASSERT_EQ(linear_acc.finish(), tiled_acc.finish()) << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P3: random gather/scatter segmentation round-trips
+
+TEST(GatherScatterProperty, RandomSegmentationRoundTrips) {
+    const direct_memory mem;
+    rng r(66);
+
+    for (int trial = 0; trial < 50; ++trial) {
+        // Application data: a mix of word fields and opaque chunks.
+        const std::size_t word_fields = 1 + r.next_below(4);
+        std::vector<std::uint32_t> ints_in(word_fields);
+        for (auto& v : ints_in) v = r.next_u32();
+        const std::size_t opaque_len = 8 * (1 + r.next_below(32));
+        const auto opaque_in = random_bytes(opaque_len, 2000 + trial);
+        const std::size_t pad = 8 * r.next_below(3);
+
+        gather_source src;
+        src.add({reinterpret_cast<const std::byte*>(ints_in.data()),
+                 word_fields * 4},
+                segment_op::xdr_words);
+        src.add(opaque_in);
+        if (pad > 0) src.add_zeros(pad);
+        const std::size_t total = src.total_size();
+
+        // Reference wire image via the cursor.
+        byte_buffer wire(total);
+        gather_cursor cur(src);
+        cur.fill(mem, wire.data(), total);
+
+        // Scatter back into fresh application memory.
+        std::vector<std::uint32_t> ints_out(word_fields);
+        byte_buffer opaque_out(opaque_len);
+        scatter_dest dst;
+        dst.add({reinterpret_cast<std::byte*>(ints_out.data()),
+                 word_fields * 4},
+                segment_op::xdr_words);
+        dst.add(opaque_out.span());
+        if (pad > 0) dst.add_discard(pad);
+
+        // Drain in random chunk sizes.
+        scatter_cursor out(dst);
+        std::size_t pos = 0;
+        while (pos < total) {
+            const std::size_t chunk =
+                std::min<std::size_t>(4 * (1 + r.next_below(8)), total - pos);
+            out.drain(mem, wire.data() + pos, chunk);
+            pos += chunk;
+        }
+
+        ASSERT_EQ(ints_in, ints_out) << "trial " << trial;
+        ASSERT_EQ(std::memcmp(opaque_in.data(), opaque_out.data(), opaque_len),
+                  0)
+            << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P4: every legal slice pair reproduces the full run
+
+TEST(SliceProperty, EverySplitPointMatchesFullRun) {
+    const direct_memory mem;
+    const auto a = random_bytes(24, 70);
+    const auto b = random_bytes(40, 71);
+
+    gather_source src;
+    src.add(a, segment_op::xdr_words);
+    src.add(b);
+    src.add_zeros(16);
+    const std::size_t total = src.total_size();
+
+    byte_buffer full(total);
+    gather_cursor cur(src);
+    cur.fill(mem, full.data(), total);
+
+    for (std::size_t split = 4; split < total; split += 4) {
+        byte_buffer parts(total);
+        const gather_source head = src.slice(0, split);
+        const gather_source tail = src.slice(split, total - split);
+        gather_cursor hc(head), tc(tail);
+        hc.fill(mem, parts.data(), split);
+        tc.fill(mem, parts.data() + split, total - split);
+        ASSERT_EQ(std::memcmp(full.data(), parts.data(), total), 0)
+            << "split at " << split;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksum taps at different unit sizes agree
+
+TEST(ChecksumTapProperty, Tap2AndTap8Agree) {
+    const direct_memory mem;
+    for (const std::size_t n : {8u, 64u, 1024u}) {
+        const auto payload = random_bytes(n, 80 + n);
+        byte_buffer out2(n), out8(n);
+
+        checksum::inet_accumulator acc2, acc8;
+        checksum_tap2 tap2(acc2);
+        checksum_tap8 tap8(acc8);
+        auto pipe2 = make_pipeline(tap2);
+        auto pipe8 = make_pipeline(tap8);
+        pipe2.run(mem, span_source(payload), span_dest(out2.span()));
+        pipe8.run(mem, span_source(payload), span_dest(out8.span()));
+        EXPECT_EQ(acc2.finish(), acc8.finish()) << "n=" << n;
+        EXPECT_EQ(std::memcmp(out2.data(), out8.data(), n), 0);
+    }
+}
+
+}  // namespace
+}  // namespace ilp::core

@@ -1,0 +1,238 @@
+// Tests of the platform timing models: every structural claim the paper
+// makes about its evaluation must hold in the reproduction — who wins, how
+// gains scale with packet size and machine, and the machine-specific
+// anomalies (no-L2 dip, Alpha I-cache, OSF/1 overhead).
+#include <gtest/gtest.h>
+
+#include "crypto/safer_simplified.h"
+#include "platform/estimator.h"
+#include "platform/machines.h"
+
+namespace ilp::platform {
+namespace {
+
+experiment_result standard(const std::string& machine_name, impl_kind impl,
+                           std::size_t packet = 1024,
+                           cipher_kind cipher = cipher_kind::safer_simplified) {
+    return run_standard_experiment(machine(machine_name), impl, cipher, packet);
+}
+
+TEST(Machines, AllSevenDefined) {
+    const auto machines = paper_machines();
+    ASSERT_EQ(machines.size(), 7u);
+    EXPECT_EQ(machines.front().name, "ss10-30");
+    EXPECT_EQ(machines.back().name, "axp3000-800");
+    for (const auto& m : machines) {
+        EXPECT_GT(m.clock_mhz, 0);
+        EXPECT_GT(m.control_cycles_per_packet, 0);
+    }
+}
+
+TEST(Estimator, IlpBeatsLayeredOnEveryMachine) {
+    // Table 1: ILP packet processing is faster on every platform for 1 KB
+    // packets, send and receive.
+    for (const auto& m : paper_machines()) {
+        const auto ilp = run_standard_experiment(
+            m, impl_kind::ilp, cipher_kind::safer_simplified, 1024);
+        const auto lay = run_standard_experiment(
+            m, impl_kind::layered, cipher_kind::safer_simplified, 1024);
+        ASSERT_TRUE(ilp.completed && lay.completed) << m.name;
+        EXPECT_LT(ilp.send_us_per_packet, lay.send_us_per_packet) << m.name;
+        EXPECT_LE(ilp.recv_us_per_packet, lay.recv_us_per_packet) << m.name;
+        EXPECT_GT(ilp.throughput_mbps, lay.throughput_mbps) << m.name;
+    }
+}
+
+TEST(Estimator, SparcGainsInPaperRange) {
+    // Paper §4.1: 16 % send gain on the SS10-30, 58 us absolute.
+    const auto ilp = standard("ss10-30", impl_kind::ilp);
+    const auto lay = standard("ss10-30", impl_kind::layered);
+    const double gain =
+        (lay.send_us_per_packet - ilp.send_us_per_packet) /
+        lay.send_us_per_packet;
+    EXPECT_GT(gain, 0.10);
+    EXPECT_LT(gain, 0.30);
+    // Absolute packet processing times are in the paper's range (hundreds
+    // of microseconds at 36 MHz).
+    EXPECT_GT(ilp.send_us_per_packet, 200);
+    EXPECT_LT(lay.send_us_per_packet, 600);
+}
+
+TEST(Estimator, AlphaGainsSmallerThanSparc) {
+    // Paper §4.1: "The benefits of ILP on DEC AXP3000 workstations are
+    // smaller than on the SUN SPARCstations."
+    const auto sparc_ilp = standard("ss20-60", impl_kind::ilp);
+    const auto sparc_lay = standard("ss20-60", impl_kind::layered);
+    const auto alpha_ilp = standard("axp3000-800", impl_kind::ilp);
+    const auto alpha_lay = standard("axp3000-800", impl_kind::layered);
+    const double sparc_gain =
+        (sparc_lay.send_us_per_packet - sparc_ilp.send_us_per_packet) /
+        sparc_lay.send_us_per_packet;
+    const double alpha_gain =
+        (alpha_lay.send_us_per_packet - alpha_ilp.send_us_per_packet) /
+        alpha_lay.send_us_per_packet;
+    EXPECT_GT(sparc_gain, alpha_gain);
+    EXPECT_GE(alpha_gain, 0.0);  // ILP still does not lose outright
+}
+
+TEST(Estimator, AlphaIcacheMissesHigherForIlp) {
+    // Paper §4.2: on the Alpha the ILP case shows markedly more instruction
+    // cache misses; on the SuperSPARC I-cache misses are negligible and
+    // equal.
+    const auto alpha_ilp = standard("axp3000-800", impl_kind::ilp);
+    const auto alpha_lay = standard("axp3000-800", impl_kind::layered);
+    EXPECT_GT(alpha_ilp.send_icache_misses, 5 * alpha_lay.send_icache_misses);
+
+    const auto sparc_ilp = standard("ss20-60", impl_kind::ilp);
+    const auto sparc_lay = standard("ss20-60", impl_kind::layered);
+    EXPECT_EQ(sparc_ilp.send_icache_misses, sparc_lay.send_icache_misses);
+}
+
+TEST(Estimator, GainGrowsWithPacketSize) {
+    // Paper §4.1: "the performance gaps between the ILP and the non-ILP
+    // implementations increase nearly proportionally to the packet size."
+    double previous_gap = 0;
+    for (const std::size_t size : {256u, 512u, 768u, 1024u, 1280u}) {
+        const auto ilp = standard("ss10-41", impl_kind::ilp, size);
+        const auto lay = standard("ss10-41", impl_kind::layered, size);
+        const double gap = lay.send_us_per_packet - ilp.send_us_per_packet;
+        EXPECT_GT(gap, previous_gap) << "size " << size;
+        previous_gap = gap;
+    }
+}
+
+TEST(Estimator, ThroughputIncreasesWithPacketSize) {
+    double previous = 0;
+    for (const std::size_t size : {256u, 512u, 768u, 1024u, 1280u}) {
+        const auto r = standard("ss20-60", impl_kind::ilp, size);
+        EXPECT_GT(r.throughput_mbps, previous) << "size " << size;
+        previous = r.throughput_mbps;
+    }
+}
+
+TEST(Estimator, KernelTcpFastestOverallButIlpWinsReceiveProcessing) {
+    // Fig. 12: kernel TCP > user ILP > user non-ILP in throughput; yet the
+    // user-level ILP *receive processing* beats the kernel path's layered
+    // manipulations (§4.1's closing observation).
+    const auto kernel = standard("ss10-30", impl_kind::kernel_tcp);
+    const auto ilp = standard("ss10-30", impl_kind::ilp);
+    const auto lay = standard("ss10-30", impl_kind::layered);
+    EXPECT_GT(kernel.throughput_mbps, ilp.throughput_mbps);
+    EXPECT_GT(ilp.throughput_mbps, lay.throughput_mbps);
+    EXPECT_LT(ilp.recv_us_per_packet, kernel.recv_us_per_packet);
+}
+
+TEST(Estimator, SimpleCipherShowsLargerRelativeGain) {
+    // Fig. 11: replacing the simplified SAFER with the constant-based cipher
+    // raises the relative ILP improvement (32-40 % vs ~16 %).
+    const auto safer_ilp =
+        standard("ss10-30", impl_kind::ilp, 1024, cipher_kind::safer_simplified);
+    const auto safer_lay = standard("ss10-30", impl_kind::layered, 1024,
+                                    cipher_kind::safer_simplified);
+    const auto simple_ilp =
+        standard("ss10-30", impl_kind::ilp, 1024, cipher_kind::simple);
+    const auto simple_lay =
+        standard("ss10-30", impl_kind::layered, 1024, cipher_kind::simple);
+    const double safer_gain =
+        (safer_lay.send_us_per_packet - safer_ilp.send_us_per_packet) /
+        safer_lay.send_us_per_packet;
+    const double simple_gain =
+        (simple_lay.send_us_per_packet - simple_ilp.send_us_per_packet) /
+        simple_lay.send_us_per_packet;
+    EXPECT_GT(simple_gain, safer_gain);
+    // And the absolute packet processing is much faster with the simple
+    // cipher (paper: 150 vs 311 us on the SS10-30).
+    EXPECT_LT(simple_ilp.send_us_per_packet,
+              0.8 * safer_ilp.send_us_per_packet);
+}
+
+TEST(Estimator, FullSaferHidesIlpGain) {
+    // The reason the paper simplified SAFER in the first place (§3.1, citing
+    // [4]): with an expensive cipher the relative ILP gain nearly vanishes.
+    const auto full_ilp =
+        standard("ss10-30", impl_kind::ilp, 1024, cipher_kind::safer_full);
+    const auto full_lay =
+        standard("ss10-30", impl_kind::layered, 1024, cipher_kind::safer_full);
+    const auto simplified_ilp = standard("ss10-30", impl_kind::ilp, 1024,
+                                         cipher_kind::safer_simplified);
+    const auto simplified_lay = standard("ss10-30", impl_kind::layered, 1024,
+                                         cipher_kind::safer_simplified);
+    const double full_gain =
+        (full_lay.send_us_per_packet - full_ilp.send_us_per_packet) /
+        full_lay.send_us_per_packet;
+    const double simplified_gain =
+        (simplified_lay.send_us_per_packet -
+         simplified_ilp.send_us_per_packet) /
+        simplified_lay.send_us_per_packet;
+    EXPECT_LT(full_gain, 0.5 * simplified_gain);
+}
+
+TEST(Estimator, MemoryAccessReductionMatchesFig13Shape) {
+    // Fig. 13: ILP cuts both read and write accesses on the send side; the
+    // cipher's table reads (1-byte accesses) are unchanged.
+    const auto ilp = standard("ss10-41", impl_kind::ilp);
+    const auto lay = standard("ss10-41", impl_kind::layered);
+    EXPECT_LT(ilp.send_accesses.reads.total_accesses(),
+              lay.send_accesses.reads.total_accesses());
+    EXPECT_LT(ilp.send_accesses.writes.total_accesses(),
+              lay.send_accesses.writes.total_accesses());
+    EXPECT_EQ(ilp.send_accesses.reads.accesses[memsim::size_bucket(1)],
+              lay.send_accesses.reads.accesses[memsim::size_bucket(1)]);
+}
+
+TEST(Estimator, IlpRaisesMissRatioWithTableCipher) {
+    // §4.2's surprise: ILP reduces accesses more than misses, so the miss
+    // *ratio* goes up with the table-driven cipher.
+    const auto ilp = standard("ss10-30", impl_kind::ilp);
+    const auto lay = standard("ss10-30", impl_kind::layered);
+    EXPECT_GT(ilp.recv_accesses.miss_ratio(), lay.recv_accesses.miss_ratio());
+}
+
+TEST(Estimator, SecondLevelCacheAbsorbsRetraversalMisses) {
+    // The SS10-30 has no second-level cache (§4.1); when the workload
+    // re-reads data that the packet traffic evicted from L1 (a second copy
+    // of the same file), the L2 machines absorb those misses while the
+    // SS10-30 pays main memory each time.  Compare raw memory-system cycles
+    // of identical transfers under both cache configurations.
+    app::transfer_config config;
+    config.file_bytes = 15 * 1024;
+    config.copies = 3;  // copies 2..3 re-read the file buffer
+
+    memsim::memory_system no_l2_client(memsim::supersparc_no_l2());
+    memsim::memory_system no_l2_server(memsim::supersparc_no_l2());
+    const auto no_l2 = app::run_transfer_simulated<crypto::safer_simplified>(
+        config, no_l2_client, no_l2_server);
+
+    memsim::memory_system l2_client(memsim::supersparc_with_l2());
+    memsim::memory_system l2_server(memsim::supersparc_with_l2());
+    const auto with_l2 = app::run_transfer_simulated<crypto::safer_simplified>(
+        config, l2_client, l2_server);
+
+    ASSERT_TRUE(no_l2.completed && with_l2.completed);
+    // Same access stream...
+    EXPECT_EQ(no_l2_server.data_stats().total_accesses(),
+              l2_server.data_stats().total_accesses());
+    // ...but more expensive without the SuperCache on the side that
+    // re-traverses data (the server re-reads the file for every copy; the
+    // client only writes fresh buffers, so its misses are compulsory and an
+    // L2 cannot help there).
+    EXPECT_GT(no_l2_server.cycles(), l2_server.cycles());
+    const double client_ratio = static_cast<double>(no_l2_client.cycles()) /
+                                static_cast<double>(l2_client.cycles());
+    EXPECT_GT(client_ratio, 0.95);  // compulsory-miss bound: near parity
+}
+
+TEST(Estimator, ProcessingTimeUnitsAreSane) {
+    for (const auto& m : paper_machines()) {
+        const auto r = run_standard_experiment(
+            m, impl_kind::ilp, cipher_kind::safer_simplified, 1024);
+        ASSERT_TRUE(r.completed);
+        EXPECT_GT(r.send_us_per_packet, 50) << m.name;
+        EXPECT_LT(r.send_us_per_packet, 1000) << m.name;
+        EXPECT_GT(r.throughput_mbps, 1) << m.name;
+        EXPECT_LT(r.throughput_mbps, 50) << m.name;
+    }
+}
+
+}  // namespace
+}  // namespace ilp::platform

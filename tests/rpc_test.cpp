@@ -1,0 +1,154 @@
+// Tests for the RPC message stubs: request/reply marshalling, layout
+// arithmetic, gather construction and encryption-header validation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "buffer/byte_buffer.h"
+#include "core/fused_pipeline.h"
+#include "rpc/messages.h"
+#include "util/endian.h"
+#include "util/rng.h"
+
+namespace ilp::rpc {
+namespace {
+
+TEST(Request, MarshalUnmarshalRoundTrip) {
+    file_request in;
+    in.request_id = 42;
+    in.filename = "data/file.bin";
+    in.copy_count = 3;
+    in.max_reply_payload = 996;
+
+    alignas(8) std::byte wire[256];
+    const auto len = marshal_request(in, wire);
+    ASSERT_TRUE(len.has_value());
+    EXPECT_EQ(*len % core::encryption_unit_bytes, 0u);
+
+    const auto out = unmarshal_request({wire, *len});
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->request_id, in.request_id);
+    EXPECT_EQ(out->filename, in.filename);
+    EXPECT_EQ(out->copy_count, in.copy_count);
+    EXPECT_EQ(out->max_reply_payload, in.max_reply_payload);
+}
+
+TEST(Request, LengthFieldMatchesMarshalledBytes) {
+    file_request in;
+    in.filename = "x";
+    alignas(8) std::byte wire[128];
+    const auto len = marshal_request(in, wire);
+    ASSERT_TRUE(len.has_value());
+    const std::uint32_t length_field = load_be32(wire);
+    EXPECT_EQ(align_up(length_field, core::encryption_unit_bytes), *len);
+}
+
+TEST(Request, RejectsOversizedFilename) {
+    file_request in;
+    in.filename = std::string(300, 'a');
+    alignas(8) std::byte wire[1024];
+    EXPECT_FALSE(marshal_request(in, wire).has_value());
+}
+
+TEST(Request, UnmarshalRejectsCorruptType) {
+    file_request in;
+    in.filename = "f";
+    alignas(8) std::byte wire[128];
+    const auto len = marshal_request(in, wire);
+    ASSERT_TRUE(len.has_value());
+    store_be32(wire + 4, 99);  // bad msg_type
+    EXPECT_FALSE(unmarshal_request({wire, *len}).has_value());
+}
+
+TEST(Request, UnmarshalRejectsBadLength) {
+    file_request in;
+    in.filename = "f";
+    alignas(8) std::byte wire[128];
+    const auto len = marshal_request(in, wire);
+    ASSERT_TRUE(len.has_value());
+    store_be32(wire, 4);  // claims empty message
+    EXPECT_FALSE(unmarshal_request({wire, *len}).has_value());
+}
+
+TEST(ReplyLayout, SizesAreConsistent) {
+    for (const std::size_t payload : {0u, 1u, 3u, 4u, 100u, 996u, 1000u}) {
+        const reply_layout layout = layout_reply(payload);
+        EXPECT_EQ(layout.payload_bytes, payload);
+        EXPECT_GE(layout.marshalled_bytes,
+                  reply_payload_offset + payload);
+        EXPECT_EQ(layout.wire_bytes % core::encryption_unit_bytes, 0u);
+        EXPECT_EQ(layout.plan.total_bytes, layout.wire_bytes);
+    }
+}
+
+TEST(ReplyLayout, MaxPayloadForWireIsTight) {
+    for (const std::size_t budget : {256u, 512u, 768u, 1024u, 1280u}) {
+        const std::size_t payload = max_payload_for_wire(budget);
+        ASSERT_GT(payload, 0u);
+        EXPECT_LE(layout_reply(payload).wire_bytes, budget);
+        // One more byte of payload would not fit (or wire is exactly at
+        // budget already).
+        EXPECT_GT(layout_reply(payload + 1).wire_bytes, budget);
+    }
+}
+
+TEST(ReplyLayout, TinyBudgetYieldsZero) {
+    EXPECT_EQ(max_payload_for_wire(16), 0u);
+}
+
+TEST(Reply, GatherProducesExactWireImage) {
+    rng r(5);
+    std::vector<std::byte> payload(100);
+    r.fill(payload);
+
+    reply_header h;
+    h.request_id = 9;
+    h.copy_index = 1;
+    h.offset = 4096;
+    h.total_bytes = 15 * 1024;
+
+    reply_staging staging;
+    const core::gather_source src = make_reply_source(h, payload, staging);
+    const reply_layout layout = layout_reply(payload.size());
+    ASSERT_EQ(src.total_size(), layout.wire_bytes);
+
+    byte_buffer wire(layout.wire_bytes);
+    core::fused_pipeline<> copy_loop;
+    copy_loop.run(memsim::direct_memory{}, src,
+                  core::span_dest(wire.span()));
+
+    // Encryption header.
+    EXPECT_EQ(load_be32(wire.data()), layout.marshalled_bytes);
+    // RPC header words.
+    EXPECT_EQ(load_be32(wire.data() + 4), msg_type_reply);
+    EXPECT_EQ(load_be32(wire.data() + 8), h.request_id);
+    EXPECT_EQ(load_be32(wire.data() + 12), h.copy_index);
+    EXPECT_EQ(load_be32(wire.data() + 16), h.offset);
+    EXPECT_EQ(load_be32(wire.data() + 20), h.total_bytes);
+    // Opaque length + payload.
+    EXPECT_EQ(load_be32(wire.data() + 24), payload.size());
+    EXPECT_EQ(std::memcmp(wire.data() + 28, payload.data(), payload.size()),
+              0);
+    // Padding is zero.
+    for (std::size_t i = 28 + payload.size(); i < layout.wire_bytes; ++i) {
+        EXPECT_EQ(wire.data()[i], std::byte{0});
+    }
+
+    // And the header region decodes back.
+    const auto decoded = decode_reply_header(wire.subspan(4, 20));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->request_id, h.request_id);
+    EXPECT_EQ(decoded->offset, h.offset);
+}
+
+TEST(EncHeader, Validation) {
+    EXPECT_TRUE(validate_enc_header(28, 32).has_value());
+    EXPECT_EQ(validate_enc_header(28, 32).value(), 28u);
+    EXPECT_TRUE(validate_enc_header(32, 32).has_value());
+    EXPECT_FALSE(validate_enc_header(28, 40).has_value());  // wrong padding
+    EXPECT_FALSE(validate_enc_header(2, 8).has_value());    // below minimum
+    EXPECT_FALSE(validate_enc_header(0, 0).has_value());
+}
+
+}  // namespace
+}  // namespace ilp::rpc

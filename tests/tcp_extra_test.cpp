@@ -1,0 +1,231 @@
+// Additional TCP edge-case tests: sequence-number wraparound across a
+// transfer, hostile/malformed input on both the data and ACK paths, window
+// clamping, and the incremental checksum update helper.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "checksum/internet_checksum.h"
+#include "memsim/mem_policy.h"
+#include "net/datagram.h"
+#include "tcp/connection.h"
+#include "tcp/header.h"
+#include "util/rng.h"
+
+namespace ilp::tcp {
+namespace {
+
+using memsim::direct_memory;
+
+// Minimal pair of endpoints over a duplex link with a trivial data path.
+struct pair {
+    virtual_clock clock;
+    net::duplex_link link;
+    tcp_sender<direct_memory> sender;
+    tcp_receiver<direct_memory> receiver;
+    std::vector<std::vector<std::byte>> delivered;
+    std::vector<std::byte> pending;
+
+    explicit pair(connection_config cfg)
+        : link(clock, 100),
+          sender(direct_memory{}, clock, link.forward(), cfg),
+          receiver(direct_memory{}, clock, link.reverse(), mirrored(cfg)) {
+        link.forward().set_receiver(
+            [this](std::span<const std::byte> p) { receiver.on_packet(p); });
+        link.reverse().set_receiver(
+            [this](std::span<const std::byte> p) { sender.on_ack_packet(p); });
+        receiver.set_processor([this](std::span<std::byte> payload) {
+            checksum::inet_accumulator acc;
+            acc.add_bytes(direct_memory{}, payload, 2);
+            pending.assign(payload.begin(), payload.end());
+            return rx_process_result{acc.folded(), true};
+        });
+        receiver.set_accept_handler(
+            [this](std::size_t) { delivered.push_back(pending); });
+    }
+
+    bool send(const std::vector<std::byte>& message) {
+        return sender.send_message(message.size(), [&](const ring_span& dst) {
+            std::memcpy(dst.first.data(), message.data(), dst.first.size());
+            if (!dst.second.empty()) {
+                std::memcpy(dst.second.data(),
+                            message.data() + dst.first.size(),
+                            dst.second.size());
+            }
+            return std::optional<std::uint16_t>();
+        });
+    }
+
+    void settle(sim_time max_us = 10'000'000) {
+        const sim_time deadline = clock.now() + max_us;
+        while (!sender.idle() && !sender.failed() && clock.now() < deadline) {
+            clock.advance(500);
+        }
+    }
+};
+
+std::vector<std::byte> message(std::size_t n, std::uint64_t seed) {
+    std::vector<std::byte> v(n);
+    rng r(seed);
+    r.fill(v);
+    return v;
+}
+
+TEST(TcpWraparound, SequenceSpaceWrapsMidTransfer) {
+    // Start close enough to 2^32 that sequence numbers wrap during the
+    // transfer; every comparison must stay correct.
+    connection_config cfg;
+    cfg.initial_seq = 0xffffff00u;
+    pair p(cfg);
+    std::vector<std::vector<std::byte>> sent;
+    for (int i = 0; i < 20; ++i) {
+        sent.push_back(message(200, 900 + i));  // crosses the wrap quickly
+        ASSERT_TRUE(p.send(sent.back())) << i;
+        p.clock.advance(500);
+    }
+    p.settle();
+    EXPECT_TRUE(p.sender.idle());
+    EXPECT_LT(p.sender.next_seq(), 0x00010000u);  // wrapped past zero
+    ASSERT_EQ(p.delivered.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+        EXPECT_EQ(p.delivered[i], sent[i]);
+    }
+}
+
+TEST(TcpHostile, RuntAndAlienPacketsAreCountedNotCrashing) {
+    connection_config cfg;
+    pair p(cfg);
+    // Runt: shorter than a TCP header.
+    const std::byte runt[7] = {};
+    p.receiver.on_packet({runt, 7});
+    // Alien ports.
+    header_fields h;
+    h.src_port = 9999;
+    h.dst_port = 8888;
+    std::byte alien[header_bytes];
+    serialize_header(h, alien);
+    p.receiver.on_packet({alien, header_bytes});
+    EXPECT_EQ(p.receiver.stats().header_failures, 2u);
+    EXPECT_EQ(p.receiver.stats().messages_accepted, 0u);
+}
+
+TEST(TcpHostile, AckPathRejectsForgeries) {
+    connection_config cfg;
+    pair p(cfg);
+    ASSERT_TRUE(p.send(message(100, 1)));
+
+    // A forged ACK with a bad checksum must not advance the sender.
+    header_fields h;
+    h.src_port = cfg.remote_port;
+    h.dst_port = cfg.local_port;
+    h.ack = p.sender.next_seq();
+    h.control = flags::ack;
+    h.checksum = 0xbeef;  // wrong
+    std::byte forged[header_bytes];
+    serialize_header(h, forged);
+    p.sender.on_ack_packet({forged, header_bytes});
+    EXPECT_EQ(p.sender.stats().bad_acks, 1u);
+    EXPECT_FALSE(p.sender.idle());  // still unacknowledged
+
+    p.settle();
+    EXPECT_TRUE(p.sender.idle());  // the genuine ACK eventually lands
+}
+
+TEST(TcpHostile, CorruptedLengthFieldInPayloadIsRejectedByChecksum) {
+    // The receiver's processor runs before the checksum verdict; a packet
+    // whose payload was altered in flight must be dropped in the final
+    // stage even though the processor already touched it.
+    net::fault_config faults;
+    faults.corrupt_probability = 1.0;
+    faults.seed = 9;
+    connection_config cfg;
+    cfg.rto_us = 5'000;
+    cfg.max_retries = 2;
+
+    virtual_clock clock;
+    net::duplex_link link(clock, 100, faults);
+    tcp_sender<direct_memory> sender(direct_memory{}, clock, link.forward(),
+                                     cfg);
+    tcp_receiver<direct_memory> receiver(direct_memory{}, clock,
+                                         link.reverse(), mirrored(cfg));
+    int accepted = 0;
+    link.forward().set_receiver(
+        [&](std::span<const std::byte> p) { receiver.on_packet(p); });
+    link.reverse().set_receiver(
+        [&](std::span<const std::byte> p) { sender.on_ack_packet(p); });
+    receiver.set_processor([&](std::span<std::byte> payload) {
+        checksum::inet_accumulator acc;
+        acc.add_bytes(direct_memory{}, payload, 2);
+        return rx_process_result{acc.folded(), true};
+    });
+    receiver.set_accept_handler([&](std::size_t) { ++accepted; });
+
+    const auto msg = message(128, 2);
+    ASSERT_TRUE(sender.send_message(msg.size(), [&](const ring_span& dst) {
+        std::memcpy(dst.first.data(), msg.data(), dst.first.size());
+        return std::optional<std::uint16_t>();
+    }));
+    // Every copy is corrupted; the sender exhausts its retries.
+    for (int i = 0; i < 100 && !sender.failed(); ++i) clock.advance(5'000);
+    EXPECT_TRUE(sender.failed());
+    EXPECT_EQ(accepted, 0);
+    EXPECT_GT(receiver.stats().checksum_failures, 0u);
+}
+
+TEST(TcpWindow, AdvertisedWindowIsClampedTo16Bits) {
+    connection_config cfg;
+    cfg.recv_window_bytes = 1 << 20;  // larger than a 16-bit window
+    pair p(cfg);
+    ASSERT_TRUE(p.send(message(64, 3)));
+    p.settle();
+    EXPECT_TRUE(p.sender.idle());  // clamped window still works
+}
+
+TEST(TcpSender, MessageLargerThanWindowIsRefusedNotWedged) {
+    connection_config cfg;
+    cfg.send_buffer_bytes = 1024;
+    cfg.recv_window_bytes = 1024;
+    pair p(cfg);
+    EXPECT_FALSE(p.send(message(2048, 4)));
+    EXPECT_EQ(p.sender.stats().send_blocked, 1u);
+    // The sender remains usable.
+    EXPECT_TRUE(p.send(message(512, 5)));
+    p.settle();
+    EXPECT_TRUE(p.sender.idle());
+}
+
+TEST(InetChecksumUpdate, Rfc1624Identity) {
+    // Recompute vs incrementally update a checksum when one word changes.
+    rng r(6);
+    std::vector<std::byte> data(64);
+    r.fill(data);
+    const std::uint16_t before = checksum::inet_checksum(data);
+
+    const std::size_t word_at = 10;
+    const std::uint16_t old_word = load_be16(data.data() + word_at);
+    const std::uint16_t new_word = 0x1234;
+    store_be16(data.data() + word_at, new_word);
+    const std::uint16_t recomputed = checksum::inet_checksum(data);
+    const std::uint16_t updated =
+        checksum::inet_checksum_update(before, old_word, new_word);
+    EXPECT_EQ(recomputed, updated);
+}
+
+TEST(InetChecksumUpdate, ChainOfUpdatesStaysConsistent) {
+    rng r(7);
+    std::vector<std::byte> data(128);
+    r.fill(data);
+    std::uint16_t field = checksum::inet_checksum(data);
+    for (int i = 0; i < 32; ++i) {
+        const std::size_t at = 2 * r.next_below(64);
+        const std::uint16_t old_word = load_be16(data.data() + at);
+        const std::uint16_t new_word = static_cast<std::uint16_t>(r.next_u32());
+        store_be16(data.data() + at, new_word);
+        field = checksum::inet_checksum_update(field, old_word, new_word);
+    }
+    EXPECT_EQ(field, checksum::inet_checksum(data));
+}
+
+}  // namespace
+}  // namespace ilp::tcp

@@ -1,0 +1,163 @@
+// Tests for adaptive retransmission timing: Jacobson smoothing, Karn's
+// rule, exponential backoff, and end-to-end behaviour under loss.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "checksum/internet_checksum.h"
+#include "memsim/mem_policy.h"
+#include "net/datagram.h"
+#include "tcp/connection.h"
+#include "util/rng.h"
+
+namespace ilp::tcp {
+namespace {
+
+using memsim::direct_memory;
+
+struct harness {
+    virtual_clock clock;
+    net::duplex_link link;
+    tcp_sender<direct_memory> sender;
+    tcp_receiver<direct_memory> receiver;
+    int delivered = 0;
+
+    harness(connection_config cfg, net::fault_config faults = {},
+            sim_time latency = 1000)
+        : link(clock, latency, faults),
+          sender(direct_memory{}, clock, link.forward(), cfg),
+          receiver(direct_memory{}, clock, link.reverse(), mirrored(cfg)) {
+        link.forward().set_receiver(
+            [this](std::span<const std::byte> p) { receiver.on_packet(p); });
+        link.reverse().set_receiver(
+            [this](std::span<const std::byte> p) { sender.on_ack_packet(p); });
+        receiver.set_processor([](std::span<std::byte> payload) {
+            checksum::inet_accumulator acc;
+            acc.add_bytes(direct_memory{}, payload, 2);
+            return rx_process_result{acc.folded(), true};
+        });
+        receiver.set_accept_handler([this](std::size_t) { ++delivered; });
+    }
+
+    bool send(std::size_t n, std::uint64_t seed) {
+        std::vector<std::byte> msg(n);
+        rng r(seed);
+        r.fill(msg);
+        return sender.send_message(n, [&](const ring_span& dst) {
+            std::memcpy(dst.first.data(), msg.data(), dst.first.size());
+            if (!dst.second.empty()) {
+                std::memcpy(dst.second.data(), msg.data() + dst.first.size(),
+                            dst.second.size());
+            }
+            return std::optional<std::uint16_t>();
+        });
+    }
+};
+
+TEST(AdaptiveRto, ConvergesToPathRtt) {
+    connection_config cfg;
+    cfg.adaptive_rto = true;
+    harness h(cfg, {}, /*latency=*/1000);  // RTT = 2 ms
+    for (int i = 0; i < 30; ++i) {
+        ASSERT_TRUE(h.send(128, i));
+        h.clock.advance(5000);  // let the ACK return
+    }
+    EXPECT_EQ(h.delivered, 30);
+    // SRTT should sit near the 2 ms round trip.
+    EXPECT_GT(h.sender.smoothed_rtt_us(), 1000);
+    EXPECT_LT(h.sender.smoothed_rtt_us(), 4000);
+    // The effective RTO is SRTT + 4*RTTVAR — far below the 200 ms default.
+    EXPECT_LT(h.sender.effective_rto_us(), 50'000u);
+    EXPECT_GE(h.sender.effective_rto_us(), cfg.min_rto_us);
+}
+
+TEST(AdaptiveRto, FixedModeKeepsConfiguredTimer) {
+    connection_config cfg;  // adaptive off
+    harness h(cfg);
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(h.send(128, i));
+        h.clock.advance(5000);
+    }
+    EXPECT_EQ(h.sender.effective_rto_us(), cfg.rto_us);
+}
+
+TEST(AdaptiveRto, BackoffDoublesUntilAcked) {
+    net::fault_config faults;
+    faults.drop_probability = 1.0;  // nothing gets through
+    connection_config cfg;
+    cfg.adaptive_rto = true;
+    cfg.rto_us = 4000;  // initial RTO before any sample
+    cfg.max_retries = 5;
+    harness h(cfg, faults);
+    ASSERT_TRUE(h.send(64, 1));
+    const sim_time rto0 = h.sender.effective_rto_us();
+    h.clock.advance(rto0 + 1);  // first timeout
+    const sim_time rto1 = h.sender.effective_rto_us();
+    EXPECT_EQ(rto1, 2 * rto0);
+    h.clock.advance(rto1 + 1);
+    EXPECT_EQ(h.sender.effective_rto_us(), 4 * rto0);
+}
+
+TEST(AdaptiveRto, KarnsRuleIgnoresRetransmittedSamples) {
+    // Drop the first copy of one segment.  Its eventual ACK (for the
+    // retransmission) must not poison the RTT estimate with the huge
+    // first-send-to-ack interval.
+    net::fault_config faults;
+    faults.drop_probability = 0.4;
+    faults.seed = 21;
+    connection_config cfg;
+    cfg.adaptive_rto = true;
+    cfg.rto_us = 50'000;
+    harness h(cfg, faults, /*latency=*/1000);
+    // One message in flight at a time: a dropped segment is delivered by a
+    // retransmission whose first-send-to-ack interval includes the whole
+    // 50+ ms timeout.  Without Karn's rule those intervals would drag SRTT
+    // far above the true 2 ms path RTT.
+    for (int i = 0; i < 60; ++i) {
+        ASSERT_TRUE(h.send(128, 100 + i));
+        const sim_time deadline = h.clock.now() + 10'000'000;
+        while (!h.sender.idle() && !h.sender.failed() &&
+               h.clock.now() < deadline) {
+            h.clock.advance(1000);
+        }
+        ASSERT_TRUE(h.sender.idle()) << "message " << i;
+    }
+    EXPECT_EQ(h.delivered, 60);
+    EXPECT_GT(h.sender.stats().retransmissions, 0u);
+    EXPECT_GT(h.sender.smoothed_rtt_us(), 1000);
+    EXPECT_LT(h.sender.smoothed_rtt_us(), 12'000);
+}
+
+TEST(AdaptiveRto, RecoversFasterThanFixedTimerUnderLoss) {
+    // With a long fixed RTO, a lossy transfer stalls on every drop; the
+    // adaptive timer converges to the path RTT and recovers much sooner.
+    const auto run = [](bool adaptive) {
+        net::fault_config faults;
+        faults.drop_probability = 0.25;
+        faults.seed = 33;
+        connection_config cfg;
+        cfg.adaptive_rto = adaptive;
+        cfg.rto_us = 500'000;  // pessimistic fixed timer
+        cfg.max_retries = 30;
+        harness h(cfg, faults, 1000);
+        for (int i = 0; i < 40; ++i) {
+            while (!h.send(256, 200 + i)) h.clock.advance(2000);
+            h.clock.advance(3000);
+        }
+        const sim_time deadline = h.clock.now() + 600'000'000ull;
+        while (!h.sender.idle() && !h.sender.failed() &&
+               h.clock.now() < deadline) {
+            h.clock.advance(2000);
+        }
+        EXPECT_TRUE(h.sender.idle());
+        EXPECT_EQ(h.delivered, 40);
+        return h.clock.now();
+    };
+    const sim_time adaptive_time = run(true);
+    const sim_time fixed_time = run(false);
+    EXPECT_LT(adaptive_time * 2, fixed_time);
+}
+
+}  // namespace
+}  // namespace ilp::tcp

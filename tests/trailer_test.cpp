@@ -1,0 +1,173 @@
+// Tests for trailer framing: layout arithmetic, round trips, and the
+// qualitative claim from the paper's conclusion — with the length field at
+// the end, *ordering-constrained* stages become fusable on the send path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "buffer/byte_buffer.h"
+#include "checksum/crc32.h"
+#include "checksum/internet_checksum.h"
+#include "core/fused_pipeline.h"
+#include "core/stage.h"
+#include "crypto/rc4.h"
+#include "crypto/safer_simplified.h"
+#include "rpc/trailer.h"
+#include "util/endian.h"
+#include "util/rng.h"
+
+namespace ilp::rpc {
+namespace {
+
+using memsim::direct_memory;
+
+std::vector<std::byte> random_bytes(std::size_t n, std::uint64_t seed) {
+    std::vector<std::byte> v(n);
+    rng r(seed);
+    r.fill(v);
+    return v;
+}
+
+TEST(TrailerLayout, Arithmetic) {
+    for (const std::size_t body : {0u, 1u, 7u, 8u, 9u, 100u, 1024u}) {
+        const trailer_layout layout = layout_trailer_message(body);
+        EXPECT_EQ(layout.wire_bytes % core::encryption_unit_bytes, 0u);
+        EXPECT_EQ(layout.body_bytes + layout.padding_bytes + trailer_bytes,
+                  layout.wire_bytes);
+        EXPECT_LT(layout.padding_bytes, core::encryption_unit_bytes);
+    }
+}
+
+TEST(Trailer, SourceLayout) {
+    const auto body_data = random_bytes(13, 1);
+    core::gather_source body;
+    body.add(body_data);
+    trailer_staging staging;
+    const core::gather_source src = make_trailer_source(body, staging);
+    const trailer_layout layout = layout_trailer_message(13);
+    ASSERT_EQ(src.total_size(), layout.wire_bytes);
+
+    byte_buffer wire(layout.wire_bytes);
+    core::fused_pipeline<> copy;
+    copy.run(direct_memory{}, src, core::span_dest(wire.span()));
+
+    EXPECT_EQ(std::memcmp(wire.data(), body_data.data(), 13), 0);
+    for (std::size_t i = 13; i < layout.wire_bytes - trailer_bytes; ++i) {
+        EXPECT_EQ(wire.data()[i], std::byte{0});
+    }
+    const auto body_len = read_trailer(
+        wire.subspan(layout.wire_bytes - trailer_bytes, trailer_bytes),
+        layout.wire_bytes);
+    ASSERT_TRUE(body_len.has_value());
+    EXPECT_EQ(*body_len, 13u);
+}
+
+TEST(Trailer, ReadRejectsBadMagicAndLength) {
+    std::byte block[8];
+    store_be32(block, 16);
+    store_be32(block + 4, trailer_magic);
+    EXPECT_TRUE(read_trailer(block, layout_trailer_message(16).wire_bytes)
+                    .has_value());
+    store_be32(block + 4, 0xdeadbeef);
+    EXPECT_FALSE(read_trailer(block, layout_trailer_message(16).wire_bytes)
+                     .has_value());
+    store_be32(block + 4, trailer_magic);
+    EXPECT_FALSE(read_trailer(block, 8).has_value());  // inconsistent total
+}
+
+TEST(Trailer, BlockCipherReceiverReadsTrailerFirst) {
+    // Block-cipher receive: decrypt the *last* block first to learn the
+    // body length, then stream the rest — the mirror image of the header
+    // framing's part A.
+    std::array<std::byte, 8> key;
+    rng kr(2);
+    kr.fill(key);
+    const crypto::safer_simplified cipher(key);
+    const auto body_data = random_bytes(100, 3);
+
+    // Send: one linear pass.
+    core::gather_source body;
+    body.add(body_data);
+    trailer_staging staging;
+    const core::gather_source src = make_trailer_source(body, staging);
+    const std::size_t wire_len = src.total_size();
+    byte_buffer wire(wire_len);
+    checksum::inet_accumulator send_sum;
+    core::encrypt_stage<crypto::safer_simplified> enc(cipher);
+    core::checksum_tap8 tap(send_sum);
+    auto send_loop = core::make_pipeline(enc, tap);
+    send_loop.run(direct_memory{}, src, core::span_dest(wire.span()));
+
+    // Receive: trailer block first.
+    core::decrypt_stage<crypto::safer_simplified> dec(cipher);
+    checksum::inet_accumulator recv_sum;
+    core::checksum_tap8 rtap(recv_sum);
+    auto recv_loop = core::make_pipeline(rtap, dec);
+
+    alignas(8) std::byte trailer_plain[8];
+    recv_loop.run(direct_memory{},
+                  core::span_source(wire.subspan(wire_len - 8, 8)),
+                  core::span_dest({trailer_plain, 8}));
+    const auto body_len = read_trailer({trailer_plain, 8}, wire_len);
+    ASSERT_TRUE(body_len.has_value());
+    ASSERT_EQ(*body_len, body_data.size());
+
+    byte_buffer restored(*body_len);
+    core::scatter_dest dst;
+    dst.add(restored.span());
+    dst.add_discard(wire_len - 8 - *body_len);
+    recv_loop.run(direct_memory{},
+                  core::span_source(wire.subspan(0, wire_len - 8)), dst);
+
+    EXPECT_EQ(std::memcmp(restored.data(), body_data.data(), *body_len), 0);
+    // Checksum covers the whole ciphertext either way (order-independent).
+    EXPECT_EQ(send_sum.folded(), recv_sum.folded());
+}
+
+TEST(Trailer, OrderingConstrainedStagesFuseOnSend) {
+    // The headline benefit: CRC-32 and RC4 — both ordering-constrained and
+    // therefore incompatible with the header framing's B,C,A order — fuse
+    // into a single linear send loop under trailer framing.
+    const char* key_text = "trailerk";
+    const auto key = std::span<const std::byte>{
+        reinterpret_cast<const std::byte*>(key_text), 8};
+    const auto body_data = random_bytes(96, 4);
+
+    core::gather_source body;
+    body.add(body_data);
+    trailer_staging staging;
+    const core::gather_source src = make_trailer_source(body, staging);
+    const std::size_t wire_len = src.total_size();
+
+    crypto::rc4 enc(key);
+    checksum::crc32 send_crc;
+    crypto::rc4_stage enc_stage(enc);
+    core::crc32_tap crc_stage(send_crc);
+    auto send_loop = core::make_pipeline(enc_stage, crc_stage);
+    static_assert(decltype(send_loop)::ordering_constrained);
+
+    byte_buffer wire(wire_len);
+    send_loop.run(direct_memory{}, src, core::span_dest(wire.span()));
+
+    // Stream-cipher receive has no choice but front-to-back; the length is
+    // known only once the trailer decrypts at the end — and that is fine,
+    // because TCP already delimits the TPDU.
+    crypto::rc4 dec(key);
+    checksum::crc32 recv_crc;
+    crypto::rc4_stage dec_stage(dec);
+    core::crc32_tap recv_crc_stage(recv_crc);
+    auto recv_loop = core::make_pipeline(recv_crc_stage, dec_stage);
+
+    byte_buffer plain(wire_len);
+    recv_loop.run(direct_memory{}, core::span_source(wire.span()),
+                  core::span_dest(plain.span()));
+    const auto body_len =
+        read_trailer(plain.subspan(wire_len - 8, 8), wire_len);
+    ASSERT_TRUE(body_len.has_value());
+    EXPECT_EQ(*body_len, body_data.size());
+    EXPECT_EQ(std::memcmp(plain.data(), body_data.data(), *body_len), 0);
+    EXPECT_EQ(send_crc.value(), recv_crc.value());  // CRC over ciphertext
+}
+
+}  // namespace
+}  // namespace ilp::rpc

@@ -1,0 +1,214 @@
+// Unit tests for the util module: endian helpers, alignment/unit math,
+// deterministic RNG, virtual clock, fixed_vector and hexdump.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "util/alignment.h"
+#include "util/endian.h"
+#include "util/fixed_vector.h"
+#include "util/hexdump.h"
+#include "util/rng.h"
+#include "util/virtual_clock.h"
+
+namespace ilp {
+namespace {
+
+TEST(Endian, Be16RoundTrip) {
+    std::byte buf[2];
+    store_be16(buf, 0xbeef);
+    EXPECT_EQ(std::to_integer<int>(buf[0]), 0xbe);
+    EXPECT_EQ(std::to_integer<int>(buf[1]), 0xef);
+    EXPECT_EQ(load_be16(buf), 0xbeef);
+}
+
+TEST(Endian, Be32RoundTrip) {
+    std::byte buf[4];
+    store_be32(buf, 0x01020304u);
+    EXPECT_EQ(std::to_integer<int>(buf[0]), 0x01);
+    EXPECT_EQ(std::to_integer<int>(buf[3]), 0x04);
+    EXPECT_EQ(load_be32(buf), 0x01020304u);
+}
+
+TEST(Endian, Be64RoundTrip) {
+    std::byte buf[8];
+    store_be64(buf, 0x0102030405060708ull);
+    EXPECT_EQ(std::to_integer<int>(buf[0]), 0x01);
+    EXPECT_EQ(std::to_integer<int>(buf[7]), 0x08);
+    EXPECT_EQ(load_be64(buf), 0x0102030405060708ull);
+}
+
+TEST(Endian, ByteswapInvolution) {
+    EXPECT_EQ(byteswap32(byteswap32(0xdeadbeefu)), 0xdeadbeefu);
+    EXPECT_EQ(byteswap16(byteswap16(0x1234)), 0x1234);
+    EXPECT_EQ(byteswap64(byteswap64(0x123456789abcdef0ull)),
+              0x123456789abcdef0ull);
+    EXPECT_EQ(byteswap32(0x01020304u), 0x04030201u);
+}
+
+TEST(Endian, HostToBeMatchesStore) {
+    // host_to_be32 must produce the same byte image store_be32 writes.
+    const std::uint32_t v = 0xcafef00du;
+    std::byte via_store[4];
+    store_be32(via_store, v);
+    const std::uint32_t converted = host_to_be32(v);
+    std::byte via_memcpy[4];
+    std::memcpy(via_memcpy, &converted, 4);
+    EXPECT_EQ(std::memcmp(via_store, via_memcpy, 4), 0);
+}
+
+TEST(Alignment, AlignUpDown) {
+    EXPECT_EQ(align_up(0, 8), 0u);
+    EXPECT_EQ(align_up(1, 8), 8u);
+    EXPECT_EQ(align_up(8, 8), 8u);
+    EXPECT_EQ(align_up(9, 8), 16u);
+    EXPECT_EQ(align_down(15, 8), 8u);
+    EXPECT_EQ(align_down(16, 8), 16u);
+    EXPECT_TRUE(is_aligned(24, 8));
+    EXPECT_FALSE(is_aligned(25, 8));
+    EXPECT_EQ(padding_for(13, 8), 3u);
+    EXPECT_EQ(padding_for(16, 8), 0u);
+}
+
+TEST(Alignment, ExchangeUnitLcm) {
+    // The paper's examples: encryption 8, checksum 2 -> exchange in 8s.
+    EXPECT_EQ(exchange_unit(8, 2), 8u);
+    EXPECT_EQ(exchange_unit(4, 8), 8u);
+    EXPECT_EQ(exchange_unit(4, 6), 12u);
+    // Folding in the system parameter Ls.
+    EXPECT_EQ(exchange_unit(4, 2, 8), 8u);
+    EXPECT_EQ(exchange_unit_of(4, 8, 2), 8u);
+    EXPECT_EQ(exchange_unit_of(), 1u);
+    EXPECT_EQ(exchange_unit_of(3, 5), 15u);
+}
+
+TEST(Rng, Deterministic) {
+    rng a(42), b(42), c(43);
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+    rng a2(42);
+    EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, BelowBound) {
+    rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.next_below(17), 17u);
+    }
+    // All residues eventually hit.
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, FillCoversWholeSpan) {
+    rng r(9);
+    std::byte buf[37];
+    std::memset(buf, 0, sizeof buf);
+    r.fill(buf);
+    int nonzero = 0;
+    for (const auto b : buf) nonzero += b != std::byte{0};
+    EXPECT_GT(nonzero, 20);  // overwhelmingly likely for random bytes
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+    rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(VirtualClock, FiresInDeadlineOrder) {
+    virtual_clock clock;
+    std::vector<int> order;
+    clock.schedule_at(30, [&] { order.push_back(3); });
+    clock.schedule_at(10, [&] { order.push_back(1); });
+    clock.schedule_at(20, [&] { order.push_back(2); });
+    clock.advance(25);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(clock.now(), 25u);
+    clock.advance(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(VirtualClock, CancelPreventsFiring) {
+    virtual_clock clock;
+    int fired = 0;
+    const auto token = clock.schedule_at(5, [&] { ++fired; });
+    EXPECT_TRUE(clock.cancel(token));
+    EXPECT_FALSE(clock.cancel(token));  // already cancelled
+    clock.advance(10);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(VirtualClock, TimerSchedulingTimer) {
+    virtual_clock clock;
+    std::vector<sim_time> fire_times;
+    clock.schedule_at(10, [&] {
+        fire_times.push_back(clock.now());
+        clock.schedule_after(5, [&] { fire_times.push_back(clock.now()); });
+    });
+    clock.advance(100);
+    ASSERT_EQ(fire_times.size(), 2u);
+    EXPECT_EQ(fire_times[0], 10u);
+    EXPECT_EQ(fire_times[1], 15u);
+}
+
+TEST(VirtualClock, SameDeadlineFiresInScheduleOrder) {
+    virtual_clock clock;
+    std::vector<int> order;
+    clock.schedule_at(10, [&] { order.push_back(1); });
+    clock.schedule_at(10, [&] { order.push_back(2); });
+    clock.advance(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(VirtualClock, PendingTimerCount) {
+    virtual_clock clock;
+    EXPECT_EQ(clock.pending_timers(), 0u);
+    clock.schedule_at(10, [] {});
+    clock.schedule_at(20, [] {});
+    EXPECT_EQ(clock.pending_timers(), 2u);
+    clock.advance(15);
+    EXPECT_EQ(clock.pending_timers(), 1u);
+}
+
+TEST(FixedVector, PushAndIterate) {
+    fixed_vector<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    v.push_back(1);
+    v.push_back(2);
+    v.push_back(3);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_FALSE(v.full());
+    int sum = 0;
+    for (const int x : v) sum += x;
+    EXPECT_EQ(sum, 6);
+    EXPECT_EQ(v.back(), 3);
+    v.push_back(4);
+    EXPECT_TRUE(v.full());
+    v.clear();
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(Hexdump, FormatsOffsetsHexAndAscii) {
+    const char* text = "Hello, ILP!";
+    const std::string dump =
+        hexdump({reinterpret_cast<const std::byte*>(text), 11});
+    EXPECT_NE(dump.find("00000000"), std::string::npos);
+    EXPECT_NE(dump.find("48 65 6c 6c 6f"), std::string::npos);
+    EXPECT_NE(dump.find("|Hello, ILP!|"), std::string::npos);
+}
+
+TEST(Hexdump, ToHex) {
+    const std::byte data[] = {std::byte{0xde}, std::byte{0xad},
+                              std::byte{0xbe}, std::byte{0xef}};
+    EXPECT_EQ(to_hex(data), "deadbeef");
+    EXPECT_EQ(to_hex({}), "");
+}
+
+}  // namespace
+}  // namespace ilp

@@ -1,0 +1,120 @@
+// Adversarial-input tests: the XDR reader and the RPC unmarshallers must
+// survive arbitrary byte streams without crashing, reading out of bounds,
+// or accepting structurally impossible messages.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rpc/messages.h"
+#include "rpc/trailer.h"
+#include "util/rng.h"
+#include "xdr/xdr.h"
+
+namespace ilp {
+namespace {
+
+TEST(XdrFuzz, RandomBytesNeverCrashTheReader) {
+    rng r(1);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<std::byte> junk(r.next_below(64));
+        r.fill(junk);
+        xdr::reader reader(junk);
+        // Drive a representative decode sequence; whatever happens, the
+        // reader must stay in bounds and report via ok().
+        reader.get_u32();
+        reader.get_string(32);
+        reader.get_i32_array(16);
+        reader.get_opaque(32);
+        reader.get_bool();
+        reader.get_u64();
+        if (reader.ok()) {
+            EXPECT_LE(reader.position(), junk.size());
+        }
+    }
+}
+
+TEST(XdrFuzz, TruncationAtEveryPointIsDetected) {
+    // A valid encoded message, truncated at every possible length: decoding
+    // must either succeed on the full prefix structure or set !ok, never
+    // read past the end.
+    std::vector<std::byte> buf(128);
+    xdr::writer w(buf);
+    w.put_u32(7).put_string("filename.bin").put_i32_array({{1, 2, 3}});
+    ASSERT_TRUE(w.ok());
+    const std::size_t full = w.position();
+
+    for (std::size_t cut = 0; cut < full; ++cut) {
+        xdr::reader r({buf.data(), cut});
+        r.get_u32();
+        r.get_string(64);
+        r.get_i32_array(8);
+        EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    }
+    xdr::reader r({buf.data(), full});
+    EXPECT_EQ(r.get_u32(), 7u);
+    EXPECT_EQ(r.get_string(64), "filename.bin");
+    EXPECT_EQ(r.get_i32_array(8), (std::vector<std::int32_t>{1, 2, 3}));
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(RpcFuzz, RandomWiresNeverParseAsRequests) {
+    rng r(2);
+    int accepted = 0;
+    for (int trial = 0; trial < 1000; ++trial) {
+        std::vector<std::byte> junk(8 * (1 + r.next_below(16)));
+        r.fill(junk);
+        if (rpc::unmarshal_request(junk).has_value()) ++accepted;
+    }
+    // A random wire must virtually never satisfy length + type + structure.
+    EXPECT_EQ(accepted, 0);
+}
+
+TEST(RpcFuzz, BitflippedValidRequestIsMostlyRejected) {
+    rpc::file_request request;
+    request.request_id = 3;
+    request.filename = "data.bin";
+    request.copy_count = 2;
+    request.max_reply_payload = 512;
+    alignas(8) std::byte wire[128];
+    const auto len = rpc::marshal_request(request, wire);
+    ASSERT_TRUE(len.has_value());
+
+    rng r(3);
+    int structural_bytes_accepted = 0;
+    // Flips in *structural* bytes — the encryption-header length word, the
+    // msg_type word and the string length word — must always be rejected;
+    // flips in free value fields (ids, counts, filename characters) are
+    // legitimately still parseable.
+    const auto is_structural = [](std::size_t offset) {
+        return offset < 8 /* length + type */ ||
+               (offset >= 12 && offset < 16) /* filename length word */;
+    };
+    constexpr int trials = 500;
+    for (int t = 0; t < trials; ++t) {
+        std::byte mutated[128];
+        std::memcpy(mutated, wire, *len);
+        const std::size_t at = r.next_below(*len);
+        mutated[at] ^= static_cast<std::byte>(1u << r.next_below(8));
+        const bool parsed =
+            rpc::unmarshal_request({mutated, *len}).has_value();
+        if (parsed && is_structural(at)) ++structural_bytes_accepted;
+    }
+    EXPECT_EQ(structural_bytes_accepted, 0);
+}
+
+TEST(RpcFuzz, HeaderDecodersRejectRandomBlocks) {
+    rng r(4);
+    int trailer_hits = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::byte block[8];
+        r.fill(block);
+        if (rpc::read_trailer(block, 64).has_value()) ++trailer_hits;
+        (void)rpc::decode_reply_header(
+            std::span<const std::byte>{block, 8});  // must not crash
+    }
+    // The trailer magic makes random acceptance ~2^-32.
+    EXPECT_EQ(trailer_hits, 0);
+}
+
+}  // namespace
+}  // namespace ilp

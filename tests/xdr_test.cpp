@@ -1,0 +1,172 @@
+// Unit tests for the XDR (RFC 1014) encoder/decoder.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "buffer/byte_buffer.h"
+#include "xdr/xdr.h"
+
+namespace ilp::xdr {
+namespace {
+
+TEST(XdrWriter, IntegersAreBigEndianWords) {
+    byte_buffer buf(16);
+    writer w(buf.span());
+    w.put_u32(0x01020304u).put_i32(-1);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(w.position(), 8u);
+    EXPECT_EQ(std::to_integer<int>(buf.data()[0]), 0x01);
+    EXPECT_EQ(std::to_integer<int>(buf.data()[3]), 0x04);
+    for (int i = 4; i < 8; ++i) {
+        EXPECT_EQ(std::to_integer<int>(buf.data()[i]), 0xff);
+    }
+}
+
+TEST(XdrWriter, HyperIs8Bytes) {
+    byte_buffer buf(8);
+    writer w(buf.span());
+    w.put_u64(0x0102030405060708ull);
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(std::to_integer<int>(buf.data()[0]), 0x01);
+    EXPECT_EQ(std::to_integer<int>(buf.data()[7]), 0x08);
+}
+
+TEST(XdrWriter, OpaquePadsToWordBoundary) {
+    byte_buffer buf(32);
+    writer w(buf.span());
+    const std::byte data[5] = {std::byte{1}, std::byte{2}, std::byte{3},
+                               std::byte{4}, std::byte{5}};
+    w.put_opaque(data);
+    ASSERT_TRUE(w.ok());
+    // length word (4) + 5 data bytes + 3 pad bytes = 12.
+    EXPECT_EQ(w.position(), 12u);
+    EXPECT_EQ(std::to_integer<int>(buf.data()[3]), 5);   // length low byte
+    EXPECT_EQ(std::to_integer<int>(buf.data()[9]), 0);   // padding
+    EXPECT_EQ(std::to_integer<int>(buf.data()[11]), 0);  // padding
+}
+
+TEST(XdrWriter, OverflowSetsStickyError) {
+    byte_buffer buf(6);
+    writer w(buf.span());
+    w.put_u32(1);
+    EXPECT_TRUE(w.ok());
+    w.put_u32(2);  // only 2 bytes left
+    EXPECT_FALSE(w.ok());
+    w.put_u32(3);  // stays failed, no crash
+    EXPECT_FALSE(w.ok());
+    EXPECT_EQ(w.position(), 4u);
+}
+
+TEST(XdrWriter, ReserveAndPatch) {
+    byte_buffer buf(16);
+    writer w(buf.span());
+    const std::size_t slot = w.reserve_u32();
+    w.put_u32(42);
+    w.patch_u32(slot, 0xabcdef01u);
+    ASSERT_TRUE(w.ok());
+    reader r(buf.subspan(0, w.position()));
+    EXPECT_EQ(r.get_u32(), 0xabcdef01u);
+    EXPECT_EQ(r.get_u32(), 42u);
+}
+
+TEST(XdrRoundTrip, AllScalarTypes) {
+    byte_buffer buf(64);
+    writer w(buf.span());
+    w.put_i32(-123456).put_u32(0xffffffffu).put_bool(true).put_bool(false);
+    w.put_i64(-99999999999ll).put_u64(0x8000000000000001ull);
+    ASSERT_TRUE(w.ok());
+
+    reader r(buf.subspan(0, w.position()));
+    EXPECT_EQ(r.get_i32(), -123456);
+    EXPECT_EQ(r.get_u32(), 0xffffffffu);
+    EXPECT_TRUE(r.get_bool());
+    EXPECT_FALSE(r.get_bool());
+    EXPECT_EQ(r.get_i64(), -99999999999ll);
+    EXPECT_EQ(r.get_u64(), 0x8000000000000001ull);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.at_end());
+}
+
+TEST(XdrRoundTrip, StringsAndArrays) {
+    byte_buffer buf(256);
+    writer w(buf.span());
+    const std::vector<std::int32_t> values{1, -2, 3, -4, 5};
+    w.put_string("file.dat").put_i32_array(values).put_string("");
+    ASSERT_TRUE(w.ok());
+
+    reader r(buf.subspan(0, w.position()));
+    EXPECT_EQ(r.get_string(64), "file.dat");
+    EXPECT_EQ(r.get_i32_array(64), values);
+    EXPECT_EQ(r.get_string(64), "");
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(XdrReader, RejectsBadBool) {
+    byte_buffer buf(4);
+    writer w(buf.span());
+    w.put_u32(2);
+    reader r(buf.span());
+    r.get_bool();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(XdrReader, RejectsNonZeroPadding) {
+    byte_buffer buf(12);
+    writer w(buf.span());
+    const std::byte data[3] = {std::byte{9}, std::byte{9}, std::byte{9}};
+    w.put_opaque(data);
+    buf.data()[7] = std::byte{1};  // corrupt a pad byte
+    reader r(buf.subspan(0, w.position()));
+    r.get_opaque(16);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(XdrReader, RejectsHostileLength) {
+    byte_buffer buf(8);
+    writer w(buf.span());
+    w.put_u32(0xfffffff0u);  // absurd opaque length
+    reader r(buf.subspan(0, 4));
+    const auto view = r.get_opaque(1 << 20);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(view.empty());
+}
+
+TEST(XdrReader, RejectsLengthBeyondMax) {
+    byte_buffer buf(16);
+    writer w(buf.span());
+    const std::byte data[8] = {};
+    w.put_opaque(data);
+    reader r(buf.subspan(0, w.position()));
+    r.get_opaque(4);  // max_len smaller than actual length
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(XdrReader, TruncatedInputSetsError) {
+    byte_buffer buf(4);
+    writer w(buf.span());
+    w.put_u32(7);
+    reader r(buf.subspan(0, 2));  // cut mid-word
+    EXPECT_EQ(r.get_u32(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(XdrReader, ArrayCountGuard) {
+    byte_buffer buf(8);
+    writer w(buf.span());
+    w.put_u32(1000);  // claims 1000 elements, only 4 bytes follow
+    w.put_i32(1);
+    reader r(buf.span());
+    const auto values = r.get_i32_array(10);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(values.empty());
+}
+
+TEST(Xdr, PaddedSize) {
+    EXPECT_EQ(padded_size(0), 0u);
+    EXPECT_EQ(padded_size(1), 4u);
+    EXPECT_EQ(padded_size(4), 4u);
+    EXPECT_EQ(padded_size(5), 8u);
+}
+
+}  // namespace
+}  // namespace ilp::xdr
