@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_recv_processing.dir/bench_fig06_recv_processing.cpp.o"
+  "CMakeFiles/bench_fig06_recv_processing.dir/bench_fig06_recv_processing.cpp.o.d"
+  "bench_fig06_recv_processing"
+  "bench_fig06_recv_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_recv_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_send_processing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cipher_processing.dir/bench_fig11_cipher_processing.cpp.o"
+  "CMakeFiles/bench_fig11_cipher_processing.dir/bench_fig11_cipher_processing.cpp.o.d"
+  "bench_fig11_cipher_processing"
+  "bench_fig11_cipher_processing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cipher_processing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_memory_access.dir/bench_fig13_memory_access.cpp.o"
+  "CMakeFiles/bench_fig13_memory_access.dir/bench_fig13_memory_access.cpp.o.d"
+  "bench_fig13_memory_access"
+  "bench_fig13_memory_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_memory_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

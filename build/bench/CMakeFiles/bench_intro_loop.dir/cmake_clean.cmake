@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_loop.dir/bench_intro_loop.cpp.o"
+  "CMakeFiles/bench_intro_loop.dir/bench_intro_loop.cpp.o.d"
+  "bench_intro_loop"
+  "bench_intro_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cipher_tour.dir/cipher_tour.cpp.o"
+  "CMakeFiles/cipher_tour.dir/cipher_tour.cpp.o.d"
+  "cipher_tour"
+  "cipher_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cipher_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_applicability.dir/ilp_applicability.cpp.o"
+  "CMakeFiles/ilp_applicability.dir/ilp_applicability.cpp.o.d"
+  "ilp_applicability"
+  "ilp_applicability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_applicability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

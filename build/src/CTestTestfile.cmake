@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("memsim")
+subdirs("buffer")
+subdirs("checksum")
+subdirs("crypto")
+subdirs("xdr")
+subdirs("core")
+subdirs("net")
+subdirs("tcp")
+subdirs("rpc")
+subdirs("app")
+subdirs("platform")

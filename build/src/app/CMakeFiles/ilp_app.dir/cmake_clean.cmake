@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_app.dir/file_transfer.cpp.o"
+  "CMakeFiles/ilp_app.dir/file_transfer.cpp.o.d"
+  "libilp_app.a"
+  "libilp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_buffer.dir/ring_buffer.cpp.o"
+  "CMakeFiles/ilp_buffer.dir/ring_buffer.cpp.o.d"
+  "libilp_buffer.a"
+  "libilp_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

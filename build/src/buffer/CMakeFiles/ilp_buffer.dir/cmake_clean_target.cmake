@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libilp_buffer.a"
+)

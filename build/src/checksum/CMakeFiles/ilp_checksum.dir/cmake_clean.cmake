@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_checksum.dir/crc32.cpp.o"
+  "CMakeFiles/ilp_checksum.dir/crc32.cpp.o.d"
+  "libilp_checksum.a"
+  "libilp_checksum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

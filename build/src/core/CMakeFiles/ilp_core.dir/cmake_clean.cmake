@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_core.dir/gather.cpp.o"
+  "CMakeFiles/ilp_core.dir/gather.cpp.o.d"
+  "CMakeFiles/ilp_core.dir/message_plan.cpp.o"
+  "CMakeFiles/ilp_core.dir/message_plan.cpp.o.d"
+  "libilp_core.a"
+  "libilp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/des.cpp" "src/crypto/CMakeFiles/ilp_crypto.dir/des.cpp.o" "gcc" "src/crypto/CMakeFiles/ilp_crypto.dir/des.cpp.o.d"
+  "/root/repo/src/crypto/safer_k64.cpp" "src/crypto/CMakeFiles/ilp_crypto.dir/safer_k64.cpp.o" "gcc" "src/crypto/CMakeFiles/ilp_crypto.dir/safer_k64.cpp.o.d"
+  "/root/repo/src/crypto/safer_tables.cpp" "src/crypto/CMakeFiles/ilp_crypto.dir/safer_tables.cpp.o" "gcc" "src/crypto/CMakeFiles/ilp_crypto.dir/safer_tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ilp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/ilp_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

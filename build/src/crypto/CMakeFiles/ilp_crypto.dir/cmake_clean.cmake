@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_crypto.dir/des.cpp.o"
+  "CMakeFiles/ilp_crypto.dir/des.cpp.o.d"
+  "CMakeFiles/ilp_crypto.dir/safer_k64.cpp.o"
+  "CMakeFiles/ilp_crypto.dir/safer_k64.cpp.o.d"
+  "CMakeFiles/ilp_crypto.dir/safer_tables.cpp.o"
+  "CMakeFiles/ilp_crypto.dir/safer_tables.cpp.o.d"
+  "libilp_crypto.a"
+  "libilp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache.cpp" "src/memsim/CMakeFiles/ilp_memsim.dir/cache.cpp.o" "gcc" "src/memsim/CMakeFiles/ilp_memsim.dir/cache.cpp.o.d"
+  "/root/repo/src/memsim/code_layout.cpp" "src/memsim/CMakeFiles/ilp_memsim.dir/code_layout.cpp.o" "gcc" "src/memsim/CMakeFiles/ilp_memsim.dir/code_layout.cpp.o.d"
+  "/root/repo/src/memsim/configs.cpp" "src/memsim/CMakeFiles/ilp_memsim.dir/configs.cpp.o" "gcc" "src/memsim/CMakeFiles/ilp_memsim.dir/configs.cpp.o.d"
+  "/root/repo/src/memsim/memory_system.cpp" "src/memsim/CMakeFiles/ilp_memsim.dir/memory_system.cpp.o" "gcc" "src/memsim/CMakeFiles/ilp_memsim.dir/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ilp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

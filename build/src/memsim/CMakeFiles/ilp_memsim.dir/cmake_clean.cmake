@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_memsim.dir/cache.cpp.o"
+  "CMakeFiles/ilp_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/ilp_memsim.dir/code_layout.cpp.o"
+  "CMakeFiles/ilp_memsim.dir/code_layout.cpp.o.d"
+  "CMakeFiles/ilp_memsim.dir/configs.cpp.o"
+  "CMakeFiles/ilp_memsim.dir/configs.cpp.o.d"
+  "CMakeFiles/ilp_memsim.dir/memory_system.cpp.o"
+  "CMakeFiles/ilp_memsim.dir/memory_system.cpp.o.d"
+  "libilp_memsim.a"
+  "libilp_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

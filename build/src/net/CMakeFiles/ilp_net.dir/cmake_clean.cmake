@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_net.dir/datagram.cpp.o"
+  "CMakeFiles/ilp_net.dir/datagram.cpp.o.d"
+  "libilp_net.a"
+  "libilp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

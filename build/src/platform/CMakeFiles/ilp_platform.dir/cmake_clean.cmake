@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_platform.dir/estimator.cpp.o"
+  "CMakeFiles/ilp_platform.dir/estimator.cpp.o.d"
+  "CMakeFiles/ilp_platform.dir/machines.cpp.o"
+  "CMakeFiles/ilp_platform.dir/machines.cpp.o.d"
+  "libilp_platform.a"
+  "libilp_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

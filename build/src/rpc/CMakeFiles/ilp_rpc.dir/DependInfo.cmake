@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/messages.cpp" "src/rpc/CMakeFiles/ilp_rpc.dir/messages.cpp.o" "gcc" "src/rpc/CMakeFiles/ilp_rpc.dir/messages.cpp.o.d"
+  "/root/repo/src/rpc/trailer.cpp" "src/rpc/CMakeFiles/ilp_rpc.dir/trailer.cpp.o" "gcc" "src/rpc/CMakeFiles/ilp_rpc.dir/trailer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ilp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdr/CMakeFiles/ilp_xdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ilp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/buffer/CMakeFiles/ilp_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/checksum/CMakeFiles/ilp_checksum.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ilp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/ilp_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

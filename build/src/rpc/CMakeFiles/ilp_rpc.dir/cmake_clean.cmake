@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_rpc.dir/messages.cpp.o"
+  "CMakeFiles/ilp_rpc.dir/messages.cpp.o.d"
+  "CMakeFiles/ilp_rpc.dir/trailer.cpp.o"
+  "CMakeFiles/ilp_rpc.dir/trailer.cpp.o.d"
+  "libilp_rpc.a"
+  "libilp_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_stats.dir/table.cpp.o"
+  "CMakeFiles/ilp_stats.dir/table.cpp.o.d"
+  "libilp_stats.a"
+  "libilp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

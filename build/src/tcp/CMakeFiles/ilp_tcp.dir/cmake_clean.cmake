@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_tcp.dir/header.cpp.o"
+  "CMakeFiles/ilp_tcp.dir/header.cpp.o.d"
+  "libilp_tcp.a"
+  "libilp_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

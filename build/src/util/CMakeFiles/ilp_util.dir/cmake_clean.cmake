@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_util.dir/hexdump.cpp.o"
+  "CMakeFiles/ilp_util.dir/hexdump.cpp.o.d"
+  "CMakeFiles/ilp_util.dir/virtual_clock.cpp.o"
+  "CMakeFiles/ilp_util.dir/virtual_clock.cpp.o.d"
+  "libilp_util.a"
+  "libilp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

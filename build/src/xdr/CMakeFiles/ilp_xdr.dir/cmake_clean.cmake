@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_xdr.dir/xdr.cpp.o"
+  "CMakeFiles/ilp_xdr.dir/xdr.cpp.o.d"
+  "libilp_xdr.a"
+  "libilp_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_send_test.dir/early_send_test.cpp.o"
+  "CMakeFiles/early_send_test.dir/early_send_test.cpp.o.d"
+  "early_send_test"
+  "early_send_test.pdb"
+  "early_send_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_send_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_extra_test.dir/memsim_extra_test.cpp.o"
+  "CMakeFiles/memsim_extra_test.dir/memsim_extra_test.cpp.o.d"
+  "memsim_extra_test"
+  "memsim_extra_test.pdb"
+  "memsim_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receive_path_test.dir/receive_path_test.cpp.o"
+  "CMakeFiles/receive_path_test.dir/receive_path_test.cpp.o.d"
+  "receive_path_test"
+  "receive_path_test.pdb"
+  "receive_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receive_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_extra_test.dir/tcp_extra_test.cpp.o"
+  "CMakeFiles/tcp_extra_test.dir/tcp_extra_test.cpp.o.d"
+  "tcp_extra_test"
+  "tcp_extra_test.pdb"
+  "tcp_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_rto_test.dir/tcp_rto_test.cpp.o"
+  "CMakeFiles/tcp_rto_test.dir/tcp_rto_test.cpp.o.d"
+  "tcp_rto_test"
+  "tcp_rto_test.pdb"
+  "tcp_rto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_rto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trailer_test.dir/trailer_test.cpp.o"
+  "CMakeFiles/trailer_test.dir/trailer_test.cpp.o.d"
+  "trailer_test"
+  "trailer_test.pdb"
+  "trailer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trailer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_filter_test.dir/word_filter_test.cpp.o"
+  "CMakeFiles/word_filter_test.dir/word_filter_test.cpp.o.d"
+  "word_filter_test"
+  "word_filter_test.pdb"
+  "word_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdr_fuzz_test.dir/xdr_fuzz_test.cpp.o"
+  "CMakeFiles/xdr_fuzz_test.dir/xdr_fuzz_test.cpp.o.d"
+  "xdr_fuzz_test"
+  "xdr_fuzz_test.pdb"
+  "xdr_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdr_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/memsim_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/checksum_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/xdr_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/trailer_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_property_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/early_send_test[1]_include.cmake")
+include("/root/repo/build/tests/demux_test[1]_include.cmake")
+include("/root/repo/build/tests/receive_path_test[1]_include.cmake")
+include("/root/repo/build/tests/xdr_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_rto_test[1]_include.cmake")
+include("/root/repo/build/tests/word_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/memsim_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
