@@ -1,0 +1,85 @@
+// Goodput and recovery-cost baseline across loss regimes, ILP vs layered.
+//
+// Three reply-link regimes with fixed seeds — clean, 1 % Bernoulli loss and
+// Gilbert–Elliott bursty loss — each run on both data paths.  Prints one
+// JSON document (recorded as BENCH_recovery.json at the repo root) so later
+// changes to the retry/retransmission machinery can be diffed against it.
+#include <cstdio>
+#include <vector>
+
+#include "app/harness.h"
+#include "crypto/safer_simplified.h"
+
+int main() {
+    using namespace ilp;
+
+    struct regime {
+        const char* name;
+        void (*apply)(app::transfer_config&);
+    };
+    const std::vector<regime> regimes = {
+        {"clean", [](app::transfer_config&) {}},
+        {"bernoulli_1pct",
+         [](app::transfer_config& c) {
+             c.forward_faults.drop_probability = 0.01;
+             c.forward_faults.seed = 11;
+         }},
+        {"gilbert_elliott_burst",
+         [](app::transfer_config& c) {
+             c.forward_faults.burst.enabled = true;
+             c.forward_faults.burst.p_good_to_bad = 0.05;
+             c.forward_faults.burst.p_bad_to_good = 0.25;
+             c.forward_faults.burst.bad_loss = 0.95;
+             c.forward_faults.seed = 11;
+         }},
+    };
+
+    std::printf("{\n  \"benchmark\": \"recovery\",\n");
+    std::printf("  \"file_kb\": 128, \"packet_bytes\": 1024,\n");
+    std::printf("  \"results\": [\n");
+    bool first = true;
+    for (const regime& r : regimes) {
+        for (const app::path_mode mode :
+             {app::path_mode::ilp, app::path_mode::layered}) {
+            app::transfer_config config;
+            config.mode = mode;
+            config.file_bytes = 128 * 1024;
+            config.packet_wire_bytes = 1024;
+            r.apply(config);
+
+            const app::transfer_result result =
+                app::run_transfer_native<crypto::safer_simplified>(config);
+
+            if (!first) std::printf(",\n");
+            first = false;
+            std::printf(
+                "    {\"regime\": \"%s\", \"path\": \"%s\", "
+                "\"completed\": %s, \"verified\": %s, "
+                "\"goodput_mbps\": %.2f, \"elapsed_ms\": %.2f, "
+                "\"segments\": %llu, \"retransmissions\": %llu, "
+                "\"packets_dropped\": %llu, \"burst_dropped\": %llu, "
+                "\"rpc_retries\": %llu, \"connection_resets\": %llu, "
+                "\"rsts_sent\": %llu, \"refetched_bytes\": %llu}",
+                r.name, mode == app::path_mode::ilp ? "ilp" : "layered",
+                result.completed ? "true" : "false",
+                result.verified ? "true" : "false", result.throughput_mbps(),
+                static_cast<double>(result.elapsed_us) / 1000.0,
+                static_cast<unsigned long long>(
+                    result.reply_tcp_sender.segments_transmitted),
+                static_cast<unsigned long long>(
+                    result.reply_tcp_sender.retransmissions),
+                static_cast<unsigned long long>(
+                    result.reply_pipe.packets_dropped),
+                static_cast<unsigned long long>(
+                    result.reply_pipe.packets_burst_dropped),
+                static_cast<unsigned long long>(result.recovery.rpc_retries),
+                static_cast<unsigned long long>(
+                    result.recovery.connection_resets),
+                static_cast<unsigned long long>(result.recovery.rsts_sent),
+                static_cast<unsigned long long>(
+                    result.recovery.refetched_bytes));
+        }
+    }
+    std::printf("\n  ]\n}\n");
+    return 0;
+}

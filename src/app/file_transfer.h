@@ -16,6 +16,7 @@
 // (the paper instruments sending and receiving independently, §4.2).
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -31,6 +32,30 @@
 #include "util/rng.h"
 
 namespace ilp::app {
+
+// ---------------------------------------------------------------------------
+// RPC-level failure recovery
+
+// Retry policy the client applies on top of TCP, on the virtual clock.  A
+// retry fires when the request connection fails, the reply connection is
+// reset by the server (RST), or no reply progress is made for
+// `response_timeout_us`.  Each retry re-issues the request from the highest
+// contiguously received offset and re-establishes the reply connection on a
+// fresh ISN carried in the request, so recovery resumes instead of
+// restarting.
+struct retry_policy {
+    unsigned max_attempts = 5;  // total request issues (first try + retries)
+    sim_time response_timeout_us = 3'000'000;  // no-progress watchdog; 0 = off
+    sim_time backoff_us = 50'000;  // delay before the first retry, doubled
+    sim_time max_backoff_us = 1'600'000;  // per retry up to this cap
+};
+
+struct client_recovery_stats {
+    std::uint64_t retries = 0;            // re-issued requests
+    std::uint64_t connection_resets = 0;  // endpoint reset() calls
+    std::uint64_t refetched_bytes = 0;    // reply payload delivered twice
+    bool gave_up = false;                 // max_attempts exhausted
+};
 
 // ---------------------------------------------------------------------------
 // Server-side file storage
@@ -63,12 +88,17 @@ public:
           cipher_(&cipher),
           mode_(mode),
           store_(&store),
+          request_isn_(request_cfg.initial_seq),
           request_rx_(mem, clock, request_link.reverse(), request_cfg),
           reply_tx_(mem, clock, reply_link.forward(), reply_cfg),
           workspace_(net::datagram_pipe::max_packet_bytes),
           request_staging_(net::datagram_pipe::max_packet_bytes) {
         request_link.forward().set_receiver(
             [this](std::span<const std::byte> p) { request_rx_.on_packet(p); });
+        // The client's request sender RSTs when it gives up; rewind to the
+        // agreed initial sequence so its re-established sender lines up.
+        request_rx_.set_failure_handler(
+            [this] { request_rx_.reset(request_isn_); });
         reply_link.reverse().set_receiver(
             [this](std::span<const std::byte> p) {
                 reply_tx_.on_ack_packet(p);
@@ -85,6 +115,16 @@ public:
     // Makes forward progress on pending reply streams; idempotent, called
     // from the run loop and from the ACK handler.
     void pump() {
+        if (reply_tx_.failed()) {
+            // The reply stream is dead (RST already went out).  Park: the
+            // client re-requests what it is missing, which resets the
+            // stream and replaces these jobs.
+            if (!jobs_.empty()) {
+                jobs_abandoned_ += jobs_.size();
+                jobs_.clear();
+            }
+            return;
+        }
         while (!jobs_.empty()) {
             if (!send_next_reply(jobs_.front())) return;  // blocked or done
             if (jobs_.front().finished) jobs_.pop_front();
@@ -110,6 +150,10 @@ public:
     std::uint64_t requests_rejected() const noexcept {
         return requests_rejected_;
     }
+    std::uint64_t requests_deduplicated() const noexcept {
+        return requests_deduplicated_;
+    }
+    std::uint64_t jobs_abandoned() const noexcept { return jobs_abandoned_; }
 
 private:
     struct reply_job {
@@ -133,14 +177,63 @@ private:
             ++requests_rejected_;
             return;
         }
+
+        // Idempotence: an attempt already being served on a healthy reply
+        // stream (duplicated request packet, or an impatient client retry
+        // that crossed its own answer) is dropped, not double-served.
+        for (const reply_job& job : jobs_) {
+            if (job.request.request_id == request->request_id &&
+                job.request.start_offset == request->start_offset &&
+                job.request.reply_isn == request->reply_isn &&
+                !reply_tx_.failed()) {
+                ++requests_deduplicated_;
+                return;
+            }
+        }
+
+        // A new attempt: if the reply stream failed, or the client asks for
+        // an ISN other than our current stream position, it abandoned the
+        // old stream — rewind to the requested ISN and drop stale jobs.
+        if (reply_tx_.failed() || request->reply_isn != reply_tx_.next_seq()) {
+            reply_tx_.reset(request->reply_isn);
+            jobs_abandoned_ += jobs_.size();
+            jobs_.clear();
+        } else {
+            // Same request re-issued at a new offset on a healthy stream:
+            // the superseded job must not keep serving stale data.
+            for (auto it = jobs_.begin(); it != jobs_.end();) {
+                if (it->request.request_id == request->request_id) {
+                    ++jobs_abandoned_;
+                    it = jobs_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+
         ++requests_served_;
-        jobs_.push_back(reply_job{*request, file, 0, 0, false});
+        reply_job job;
+        job.request = *request;
+        job.file = file;
+        // start_offset indexes the reply stream (copies concatenated);
+        // map it back to (copy, offset-within-copy).
+        const std::uint64_t total = file->size();
+        const std::uint64_t stream_total = total * request->copy_count;
+        const std::uint64_t start =
+            std::min<std::uint64_t>(request->start_offset, stream_total);
+        if (total > 0) {
+            job.copy = static_cast<std::uint32_t>(start / total);
+            job.offset = static_cast<std::size_t>(start % total);
+        }
+        if (job.copy >= request->copy_count) job.finished = true;
+        jobs_.push_back(std::move(job));
         pump();
     }
 
     // Sends the next segment of `job`; returns false when TCP is out of
     // buffer/window space (retry later) or the job just finished.
     bool send_next_reply(reply_job& job) {
+        if (job.finished) return true;
         const std::size_t remaining = job.file->size() - job.offset;
         const std::size_t payload_len = std::min<std::size_t>(
             remaining, job.request.max_reply_payload);
@@ -174,6 +267,7 @@ private:
     const Cipher* cipher_;
     path_mode mode_;
     const file_store* store_;
+    std::uint32_t request_isn_;
     tcp::tcp_receiver<Mem> request_rx_;
     tcp::tcp_sender<Mem> reply_tx_;
     send_workspace workspace_;
@@ -183,6 +277,8 @@ private:
     path_counters rx_counters_;
     std::uint64_t requests_served_ = 0;
     std::uint64_t requests_rejected_ = 0;
+    std::uint64_t requests_deduplicated_ = 0;
+    std::uint64_t jobs_abandoned_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -194,10 +290,14 @@ public:
     file_client(const Mem& mem, const Cipher& cipher, virtual_clock& clock,
                 net::duplex_link& request_link, net::duplex_link& reply_link,
                 const tcp::connection_config& request_cfg,
-                const tcp::connection_config& reply_cfg, path_mode mode)
+                const tcp::connection_config& reply_cfg, path_mode mode,
+                const retry_policy& retry = {})
         : mem_(mem),
           cipher_(&cipher),
           mode_(mode),
+          clock_(&clock),
+          policy_(retry),
+          request_isn_(request_cfg.initial_seq),
           request_tx_(mem, clock, request_link.forward(), request_cfg),
           reply_rx_(mem, clock, reply_link.reverse(), reply_cfg),
           workspace_(net::datagram_pipe::max_packet_bytes) {
@@ -214,28 +314,59 @@ public:
     }
 
     // Sends the file request; returns false if it could not be queued.
+    // The reply_isn field is overwritten: the first attempt always runs on
+    // the reply connection's configured sequence state.
     bool request_file(const rpc::file_request& request) {
-        alignas(8) std::byte wire[1024];
-        const auto wire_len = rpc::marshal_request(request, wire);
-        if (!wire_len.has_value()) return false;
-
-        // The request's wire image is already marshalled (control-plane);
-        // the data path encrypts and checksums it.
-        core::gather_source src;
-        src.add({wire, *wire_len});
-        const core::message_plan plan = core::plan_parts(
-            rpc::validate_enc_header(load_be32(wire), *wire_len).value());
-        if (!send_message(mode_, request_tx_, mem_, *cipher_, src, plan,
-                          workspace_, tx_counters_)) {
-            return false;
-        }
-        state_.request = request;
+        rpc::file_request r = request;
+        r.reply_isn = reply_rx_.expected_seq();
+        if (!issue_request(r)) return false;
+        state_.request = r;
         state_.active = true;
         state_.total_known = false;
         state_.buffers.clear();
         state_.received.assign(request.copy_count, 0);
         state_.completed_replies.assign(request.copy_count, 0);
+        attempt_ = 1;
+        retry_at_ = 0;
+        recovery_ = {};
+        last_progress_us_ = clock_->now();
         return true;
+    }
+
+    // Drives failure detection and the retry state machine; call regularly
+    // from the event loop.  Retries fire on transport failure (request
+    // sender gave up, or the server RST the reply stream) and on the
+    // response timeout, after an exponential backoff, until max_attempts.
+    void poll() {
+        if (!state_.active || recovery_.gave_up || done()) return;
+        const sim_time now = clock_->now();
+        if (retry_at_ != 0) {  // backoff in progress
+            if (now < retry_at_) return;
+            retry_at_ = 0;
+            perform_retry();
+            return;
+        }
+        const bool transport_failed =
+            request_tx_.failed() || reply_rx_.peer_failed();
+        const bool timed_out =
+            policy_.response_timeout_us != 0 &&
+            now - last_progress_us_ >= policy_.response_timeout_us;
+        if (!transport_failed && !timed_out) return;
+        if (attempt_ >= policy_.max_attempts) {
+            recovery_.gave_up = true;
+            return;
+        }
+        sim_time delay = policy_.backoff_us;
+        for (unsigned i = 1; i < attempt_ && delay < policy_.max_backoff_us;
+             ++i) {
+            delay *= 2;
+        }
+        if (delay > policy_.max_backoff_us) delay = policy_.max_backoff_us;
+        if (delay == 0) {
+            perform_retry();
+        } else {
+            retry_at_ = now + delay;
+        }
     }
 
     bool done() const {
@@ -247,7 +378,13 @@ public:
         return true;
     }
 
-    bool failed() const { return request_tx_.failed(); }
+    // Terminal failure: every attempt the retry policy allows has been
+    // spent.  (Individual TCP failures are recovered internally by poll().)
+    bool failed() const { return recovery_.gave_up; }
+
+    const client_recovery_stats& recovery() const noexcept {
+        return recovery_;
+    }
 
     // The reassembled file contents of one received copy.
     std::span<const std::byte> copy_data(std::uint32_t copy) const {
@@ -335,23 +472,104 @@ private:
     }
 
     // Final-stage commit: TCP accepted the segment carrying the pending
-    // reply.
+    // reply.  Commits are strictly contiguous per copy — a reply opening a
+    // gap is ignored, and overlap with already-committed data (a server
+    // resuming slightly behind the client) only counts the fresh suffix.
     void commit_reply() {
         if (!pending_valid_) return;
-        const rpc::reply_header& h = pending_header_;
-        state_.received[h.copy_index] += pending_payload_bytes_;
-        if (h.offset + pending_payload_bytes_ >= state_.total) {
-            ++state_.completed_replies[h.copy_index];
-        }
         pending_valid_ = false;
+        const rpc::reply_header& h = pending_header_;
+        std::size_t& got = state_.received[h.copy_index];
+        if (h.offset > got) return;  // gap: not contiguous, cannot commit
+        const std::size_t end = h.offset + pending_payload_bytes_;
+        if (end > got) {
+            recovery_.refetched_bytes += got - h.offset;
+            got = end;
+        } else {
+            recovery_.refetched_bytes += pending_payload_bytes_;
+        }
+        if (end >= state_.total) ++state_.completed_replies[h.copy_index];
+        last_progress_us_ = clock_->now();
     }
+
+    // Marshals and sends one request message over the request connection.
+    bool issue_request(const rpc::file_request& request) {
+        alignas(8) std::byte wire[1024];
+        const auto wire_len = rpc::marshal_request(request, wire);
+        if (!wire_len.has_value()) return false;
+
+        // The request's wire image is already marshalled (control-plane);
+        // the data path encrypts and checksums it.
+        core::gather_source src;
+        src.add({wire, *wire_len});
+        const core::message_plan plan = core::plan_parts(
+            rpc::validate_enc_header(load_be32(wire), *wire_len).value());
+        return send_message(mode_, request_tx_, mem_, *cipher_, src, plan,
+                            workspace_, tx_counters_);
+    }
+
+    // Highest contiguously committed offset in the reply stream (copies
+    // concatenated) — the resume point for the next attempt.
+    std::uint32_t resume_offset() const {
+        if (!state_.total_known) return 0;
+        std::uint64_t off = 0;
+        for (std::uint32_t c = 0; c < state_.request.copy_count; ++c) {
+            if (state_.received[c] >= state_.total) {
+                off += state_.total;
+            } else {
+                off += state_.received[c];
+                break;
+            }
+        }
+        return static_cast<std::uint32_t>(off);
+    }
+
+    // Distinct per attempt so segments of an abandoned reply stream can
+    // never be mistaken for the re-established one.
+    std::uint32_t derive_reply_isn() const {
+        return (state_.request.request_id * 0x9e3779b9u) + attempt_ * 0x101u;
+    }
+
+    void perform_retry() {
+        ++attempt_;
+        ++recovery_.retries;
+        if (request_tx_.failed()) {
+            // The sender already emitted its RST; the server rewinds its
+            // request receiver to the same agreed initial sequence.
+            request_tx_.reset(request_isn_);
+            ++recovery_.connection_resets;
+        }
+        // Always re-establish the reply stream on a fresh ISN carried in
+        // the request; the server rewinds its reply sender to match.
+        const std::uint32_t isn = derive_reply_isn();
+        reply_rx_.reset(isn);
+        ++recovery_.connection_resets;
+        pending_valid_ = false;
+        state_.request.start_offset = resume_offset();
+        state_.request.reply_isn = isn;
+        last_progress_us_ = clock_->now();
+        if (!issue_request(state_.request)) {
+            // No space on the request connection right now; retry the
+            // re-issue after another backoff tick.
+            retry_at_ = clock_->now() + std::max<sim_time>(policy_.backoff_us,
+                                                           1000);
+        }
+    }
+
     Mem mem_;
     const Cipher* cipher_;
     path_mode mode_;
+    virtual_clock* clock_;
+    retry_policy policy_;
+    std::uint32_t request_isn_;
     tcp::tcp_sender<Mem> request_tx_;
     tcp::tcp_receiver<Mem> reply_rx_;
     send_workspace workspace_;
     transfer_state state_;
+    unsigned attempt_ = 0;
+    sim_time last_progress_us_ = 0;
+    sim_time retry_at_ = 0;  // nonzero while a retry backoff is pending
+    client_recovery_stats recovery_;
     rpc::reply_header pending_header_;
     std::size_t pending_payload_bytes_ = 0;
     bool pending_valid_ = false;

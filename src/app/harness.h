@@ -25,6 +25,12 @@ struct transfer_config {
     sim_time link_latency_us = 100;
     net::fault_config forward_faults{};
     net::fault_config reverse_faults{};
+    // Faults on the request link (client -> server direction and its ACK
+    // path); clean by default, matching the paper's setup.
+    net::fault_config request_forward_faults{};
+    net::fault_config request_reverse_faults{};
+    // RPC-level retry policy driven by the client.
+    retry_policy retry{};
     std::uint64_t file_seed = 0x11aa;
     std::uint64_t key_seed = 0x22bb;
     sim_time deadline_us = 120'000'000;
@@ -33,9 +39,23 @@ struct transfer_config {
     bool zero_copy = false;
 };
 
+// End-to-end recovery accounting for one transfer, aggregated across both
+// endpoints and both connections.
+struct recovery_report {
+    std::uint64_t rpc_retries = 0;         // request re-issues by the client
+    std::uint64_t connection_resets = 0;   // endpoint reset() calls, all four
+    std::uint64_t rsts_sent = 0;           // TCP give-up notifications
+    std::uint64_t rsts_received = 0;
+    std::uint64_t requests_deduplicated = 0;
+    std::uint64_t jobs_abandoned = 0;      // server jobs dropped on reset
+    std::uint64_t refetched_bytes = 0;     // reply payload served > once
+    bool gave_up = false;  // explicit failure: retry budget exhausted
+};
+
 struct transfer_result {
     bool completed = false;
     bool verified = false;  // received copies byte-identical to the file
+    recovery_report recovery;
     sim_time elapsed_us = 0;
     std::uint64_t payload_bytes_delivered = 0;
     std::uint64_t reply_messages = 0;
@@ -63,7 +83,9 @@ transfer_result run_transfer(const transfer_config& config,
                              const Cipher& client_cipher,
                              const Cipher& server_cipher) {
     virtual_clock clock;
-    net::duplex_link request_link(clock, config.link_latency_us);
+    net::duplex_link request_link(clock, config.link_latency_us,
+                                  config.request_forward_faults,
+                                  config.request_reverse_faults);
     net::duplex_link reply_link(clock, config.link_latency_us,
                                 config.forward_faults, config.reverse_faults);
 
@@ -87,7 +109,8 @@ transfer_result run_transfer(const transfer_config& config,
                                     config.mode, store);
     file_client<Mem, Cipher> client(client_mem, client_cipher, clock,
                                     request_link, reply_link, request_cfg,
-                                    tcp::mirrored(reply_cfg), config.mode);
+                                    tcp::mirrored(reply_cfg), config.mode,
+                                    config.retry);
 
     rpc::file_request request;
     request.request_id = 7;
@@ -101,13 +124,36 @@ transfer_result run_transfer(const transfer_config& config,
     if (!client.request_file(request)) return result;
 
     const sim_time start = clock.now();
-    while (!client.done() && !client.failed() && !server.failed() &&
+    // A failed server reply stream is no longer terminal: the client's
+    // retry machinery (poll) re-establishes connections and resumes.  The
+    // loop ends on completion, on the client exhausting its retry budget,
+    // or (belt-and-braces) on the deadline.
+    while (!client.done() && !client.failed() &&
            clock.now() - start < config.deadline_us) {
         server.pump();
+        client.poll();
         clock.advance(config.poll_step_us);
     }
     result.completed = client.done();
     result.elapsed_us = clock.now() - start;
+
+    const client_recovery_stats& cr = client.recovery();
+    result.recovery.rpc_retries = cr.retries;
+    result.recovery.gave_up = cr.gave_up;
+    result.recovery.connection_resets =
+        cr.connection_resets + server.reply_tcp_stats().resets +
+        server.request_tcp_stats().resets;
+    result.recovery.rsts_sent = server.reply_tcp_stats().rsts_sent +
+                                client.request_tcp_stats().rsts_sent;
+    result.recovery.rsts_received = client.reply_tcp_stats().rsts_received +
+                                    server.request_tcp_stats().rsts_received;
+    result.recovery.requests_deduplicated = server.requests_deduplicated();
+    result.recovery.jobs_abandoned = server.jobs_abandoned();
+    const std::uint64_t served = server.send_counters().payload_bytes;
+    result.recovery.refetched_bytes =
+        cr.refetched_bytes +
+        (served > client.bytes_received() ? served - client.bytes_received()
+                                          : 0);
     result.payload_bytes_delivered = client.bytes_received();
     result.server_send = server.send_counters();
     result.client_receive = client.receive_counters();

@@ -16,9 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "memsim/memory_system.h"
 
@@ -41,6 +41,9 @@ public:
     explicit code_layout(std::uint64_t segment_base = 0x7000'0000'0000ull)
         : next_(segment_base) {}
 
+    // The returned reference stays valid for the layout's lifetime (a
+    // deque never relocates existing elements on growth) — callers hold
+    // regions across later add() calls.
     const code_region& add(std::string_view name, std::size_t entry_bytes,
                            std::size_t loop_bytes);
 
@@ -51,7 +54,7 @@ public:
 
 private:
     std::uint64_t next_;
-    std::vector<code_region> regions_;
+    std::deque<code_region> regions_;
 };
 
 // Fetch helpers used by the instrumented data paths.

@@ -14,27 +14,69 @@ datagram_pipe::datagram_pipe(virtual_clock& clock, sim_time latency_us,
       kernel_staging_(max_packet_bytes),
       deliver_buffer_(max_packet_bytes) {}
 
+// Decides whether the packet is lost before it reaches the in-flight queue,
+// applying the loss causes in plan order: scheduled outage (clock-driven,
+// no RNG draw), then the Gilbert–Elliott burst state, then the independent
+// Bernoulli coin.  Burst and truncation draws only happen when configured,
+// so legacy fault configs replay the exact same RNG stream as before.
+bool datagram_pipe::lose_packet() {
+    const sim_time now = clock_->now();
+    for (const outage_window& w : faults_.outages) {
+        if (now >= w.start_us && now < w.end_us) {
+            ++stats_.packets_dropped;
+            ++stats_.packets_outage_dropped;
+            return true;
+        }
+    }
+    if (faults_.burst.enabled) {
+        const double flip = burst_bad_ ? faults_.burst.p_bad_to_good
+                                       : faults_.burst.p_good_to_bad;
+        if (rng_.next_bool(flip)) burst_bad_ = !burst_bad_;
+        const double loss =
+            burst_bad_ ? faults_.burst.bad_loss : faults_.burst.good_loss;
+        if (rng_.next_bool(loss)) {
+            ++stats_.packets_dropped;
+            if (burst_bad_) ++stats_.packets_burst_dropped;
+            return true;
+        }
+    }
+    if (rng_.next_bool(faults_.drop_probability)) {
+        ++stats_.packets_dropped;
+        return true;
+    }
+    return false;
+}
+
 void datagram_pipe::enqueue(std::size_t bytes) {
     ++stats_.packets_sent;
     ++stats_.send_crossings;
     stats_.bytes_sent += bytes;
 
-    if (rng_.next_bool(faults_.drop_probability)) {
-        ++stats_.packets_dropped;
-        return;
-    }
+    if (lose_packet()) return;
 
     const int copies = rng_.next_bool(faults_.duplicate_probability) ? 2 : 1;
     if (copies == 2) ++stats_.packets_duplicated;
 
     for (int c = 0; c < copies; ++c) {
+        // Finite kernel queue: tail drop when the link is saturated.
+        if (faults_.max_queue_packets != 0 &&
+            queue_.size() >= faults_.max_queue_packets) {
+            ++stats_.packets_dropped;
+            ++stats_.packets_queue_dropped;
+            continue;
+        }
         in_flight_packet pkt;
         pkt.data.assign(kernel_staging_.data(), kernel_staging_.data() + bytes);
         if (rng_.next_bool(faults_.corrupt_probability)) {
             ++stats_.packets_corrupted;
-            const std::size_t victim = rng_.next_below(bytes);
+            const std::size_t victim = rng_.next_below(pkt.data.size());
             pkt.data[victim] ^= static_cast<std::byte>(
                 1u << rng_.next_below(8));
+        }
+        if (faults_.truncate_probability > 0 && bytes > 1 &&
+            rng_.next_bool(faults_.truncate_probability)) {
+            ++stats_.packets_truncated;
+            pkt.data.resize(1 + rng_.next_below(bytes - 1));
         }
         sim_time deliver_at = clock_->now() + latency_us_;
         if (rng_.next_bool(faults_.reorder_probability)) {

@@ -31,22 +31,60 @@
 
 namespace ilp::net {
 
+// Gilbert–Elliott two-state loss model: the link alternates between a good
+// and a bad state with the given transition probabilities (evaluated once
+// per packet) and drops packets with a state-dependent probability.  This
+// produces the *correlated* (bursty) loss real links exhibit, which
+// independent Bernoulli drops cannot.
+struct burst_model {
+    bool enabled = false;
+    double p_good_to_bad = 0.0;  // P(good -> bad) per packet
+    double p_bad_to_good = 1.0;  // P(bad -> good) per packet
+    double good_loss = 0.0;      // drop probability while in the good state
+    double bad_loss = 1.0;       // drop probability while in the bad state
+};
+
+// A scheduled link outage: every packet sent with now() in [start_us,
+// end_us) is dropped, deterministic and independent of the RNG.
+struct outage_window {
+    sim_time start_us = 0;
+    sim_time end_us = 0;
+};
+
+// A fault *plan*: the classic per-packet Bernoulli coins plus correlated
+// burst loss, scheduled outages, packet truncation and a finite kernel
+// queue.  Everything is driven by one seeded RNG (plus the virtual clock
+// for outages), so any failure scenario replays bit-for-bit.
 struct fault_config {
     double drop_probability = 0.0;
     double duplicate_probability = 0.0;
     double corrupt_probability = 0.0;
     double reorder_probability = 0.0;
+    // Deliver only a random proper prefix of the packet (models a partial
+    // DMA / mid-frame cut; the checksum or header parse catches it).
+    double truncate_probability = 0.0;
+    burst_model burst{};
+    std::vector<outage_window> outages{};
+    // Finite kernel queue: packets arriving while `max_queue_packets` are
+    // already in flight are tail-dropped.  0 means unbounded.
+    std::size_t max_queue_packets = 0;
     std::uint64_t seed = 1;
 };
 
 struct pipe_stats {
     std::uint64_t packets_sent = 0;
     std::uint64_t packets_delivered = 0;
-    std::uint64_t packets_dropped = 0;
+    std::uint64_t packets_dropped = 0;  // all loss causes combined
     std::uint64_t packets_duplicated = 0;
     std::uint64_t packets_corrupted = 0;
     std::uint64_t packets_reordered = 0;
     std::uint64_t bytes_sent = 0;
+    // Per-cause loss breakdown (each drop increments packets_dropped plus
+    // exactly one of these; plain Bernoulli drops are the remainder).
+    std::uint64_t packets_burst_dropped = 0;   // Gilbert–Elliott bad state
+    std::uint64_t packets_outage_dropped = 0;  // scheduled outage window
+    std::uint64_t packets_queue_dropped = 0;   // finite kernel queue full
+    std::uint64_t packets_truncated = 0;       // delivered, but cut short
     // Domain crossings: one per send() (user -> kernel) and one per
     // delivered packet (kernel -> user handler).
     std::uint64_t send_crossings = 0;
@@ -120,10 +158,12 @@ private:
     };
 
     void enqueue(std::size_t bytes);
+    bool lose_packet();  // outage / queue / burst / Bernoulli verdict
 
     virtual_clock* clock_;
     sim_time latency_us_;
     fault_config faults_;
+    bool burst_bad_ = false;  // Gilbert–Elliott state
     rng rng_;
     handler on_packet_;
     byte_buffer kernel_staging_;  // send-side kernel buffer (system copy dst)

@@ -18,10 +18,13 @@ std::optional<std::size_t> marshal_request(const file_request& request,
     xdr::writer w(out);
     const std::size_t length_slot = w.reserve_u32();  // encryption header
     w.put_u32(msg_type_request);
+    w.put_u32(wire_version);
     w.put_u32(request.request_id);
     w.put_string(request.filename);
     w.put_u32(request.copy_count);
     w.put_u32(request.max_reply_payload);
+    w.put_u32(request.start_offset);
+    w.put_u32(request.reply_isn);
     if (!w.ok()) return std::nullopt;
     const std::size_t marshalled = w.position();
     w.patch_u32(length_slot, static_cast<std::uint32_t>(marshalled));
@@ -43,10 +46,13 @@ std::optional<file_request> unmarshal_request(
                                   length - enc_header_bytes));
     file_request request;
     if (body.get_u32() != msg_type_request) return std::nullopt;
+    if (body.get_u32() != wire_version) return std::nullopt;
     request.request_id = body.get_u32();
     request.filename = body.get_string(max_filename_bytes);
     request.copy_count = body.get_u32();
     request.max_reply_payload = body.get_u32();
+    request.start_offset = body.get_u32();
+    request.reply_isn = body.get_u32();
     if (!body.ok() || !body.at_end()) return std::nullopt;
     return request;
 }

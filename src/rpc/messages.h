@@ -15,9 +15,10 @@
 //   [4,..)   RPC header + XDR body (the marshalled message)
 //   [..,N)   alignment bytes to the next 8-byte boundary
 //
-// Request (client -> server):
-//   RPC header: msg_type=1, request_id
-//   body:       filename (XDR string), copy_count, max_reply_payload
+// Request (client -> server), wire version 2:
+//   RPC header: msg_type=1, wire_version, request_id
+//   body:       filename (XDR string), copy_count, max_reply_payload,
+//               start_offset, reply_isn
 //
 // Reply (server -> client), one per file segment:
 //   RPC header: msg_type=2, request_id, copy_index, offset, total_bytes
@@ -38,6 +39,11 @@ namespace ilp::rpc {
 inline constexpr std::uint32_t msg_type_request = 1;
 inline constexpr std::uint32_t msg_type_reply = 2;
 
+// Request wire-format version.  v2 added resumable transfers: a version
+// word after msg_type plus the start_offset and reply_isn fields.  v1
+// requests (no version word) are rejected.
+inline constexpr std::uint32_t wire_version = 2;
+
 // Encryption header size (the length field).
 inline constexpr std::size_t enc_header_bytes = core::encryption_header_bytes;
 
@@ -49,6 +55,14 @@ struct file_request {
     std::string filename;
     std::uint32_t copy_count = 1;
     std::uint32_t max_reply_payload = 1024;
+    // Resume point: byte offset into the reply *stream* (all copies
+    // concatenated, so copy k starts at k * file_size).  The server serves
+    // from here, which makes re-issued requests idempotent.
+    std::uint32_t start_offset = 0;
+    // Initial sequence number the reply connection uses for this attempt;
+    // client and server reset their reply endpoints to it when it differs
+    // from the server's current reply stream position.
+    std::uint32_t reply_isn = 0;
 };
 
 // Marshals a request (control-plane; requests are small and rare) into

@@ -88,6 +88,9 @@ struct sender_stats {
     std::uint64_t acks_received = 0;
     std::uint64_t bad_acks = 0;  // checksum/parse failures on ACK packets
     std::uint64_t send_blocked = 0;  // send_message refused: no buffer/window
+    std::uint64_t rsts_sent = 0;      // give-up notifications to the peer
+    std::uint64_t window_probes = 0;  // zero-window persist probes
+    std::uint64_t resets = 0;         // reset() calls (re-establishments)
 };
 
 struct receiver_stats {
@@ -99,6 +102,8 @@ struct receiver_stats {
     std::uint64_t duplicate_drops = 0;
     std::uint64_t header_failures = 0;
     std::uint64_t acks_sent = 0;
+    std::uint64_t rsts_received = 0;  // peer gave up on this connection
+    std::uint64_t resets = 0;         // reset() calls (re-establishments)
 };
 
 // ---------------------------------------------------------------------------
@@ -190,8 +195,22 @@ public:
         }
         ++stats_.acks_received;
         peer_window_ = h.window;
+        if (peer_window_ == 0) {
+            // Zero-window: without a persist probe nothing would ever
+            // elicit the reopening ACK and the sender would wedge forever.
+            arm_persist();
+        } else {
+            persist_shift_ = 0;
+            disarm_persist();
+        }
         if (seq_leq(h.ack, snd_una_)) return;  // duplicate ACK
-        ILP_EXPECT(seq_leq(h.ack, snd_nxt_));
+        if (!seq_leq(h.ack, snd_nxt_)) {
+            // ACK for data never sent: a corrupted packet whose 16-bit
+            // checksum collides, or a forgery.  Untrusted input must never
+            // abort the process — count it and drop.
+            ++stats_.bad_acks;
+            return;
+        }
         // Release fully acknowledged segments (ALF: ACKs fall on segment
         // boundaries because the receiver accepts whole TPDUs only).
         while (!unacked_.empty() &&
@@ -212,6 +231,24 @@ public:
         backoff_shift_ = 0;
         disarm_rto();
         if (!unacked_.empty()) arm_rto();
+    }
+
+    // Rewinds the connection to a fresh sequence state so it can be
+    // re-established after a failure (or to resynchronise with a peer that
+    // reset).  Outstanding data is discarded — the layer above owns
+    // recovery of anything that was never acknowledged.
+    void reset(std::uint32_t isn) {
+        disarm_rto();
+        disarm_persist();
+        unacked_.clear();
+        ring_.clear();
+        snd_una_ = snd_nxt_ = isn;
+        retries_ = 0;
+        backoff_shift_ = 0;
+        persist_shift_ = 0;
+        failed_ = false;
+        peer_window_ = config_.recv_window_bytes;
+        ++stats_.resets;
     }
 
     bool idle() const noexcept { return unacked_.empty(); }
@@ -310,10 +347,67 @@ private:
         }
     }
 
+    // Header-only control segment (RST on give-up, zero-window probes).
+    void transmit_control(std::uint8_t control, std::uint32_t seq) {
+        header_fields h;
+        h.src_port = config_.local_port;
+        h.dst_port = config_.remote_port;
+        h.seq = seq;
+        h.control = control;
+        h.window = 0;
+        serialize_header(h, {header_buffer_, header_bytes});
+        const std::uint16_t cksum = finish_segment_checksum(
+            config_.local_addr, config_.remote_addr,
+            {header_buffer_, header_bytes}, 0, 0);
+        store_be16(header_buffer_ + 16, cksum);
+        const std::span<const std::byte> header_span{header_buffer_,
+                                                     header_bytes};
+        if (config_.zero_copy) {
+            out_->send_zero_copy({header_span});
+        } else {
+            out_->send(mem_, {header_span});
+        }
+    }
+
+    void arm_persist() {
+        if (persist_token_ != 0 || failed_) return;
+        sim_time interval = current_rto();
+        for (unsigned i = 0; i < persist_shift_ && interval < config_.max_rto_us;
+             ++i) {
+            interval *= 2;
+        }
+        if (interval > config_.max_rto_us) interval = config_.max_rto_us;
+        persist_token_ = clock_->schedule_after(interval, [this] {
+            persist_token_ = 0;
+            on_persist();
+        });
+    }
+
+    void disarm_persist() {
+        if (persist_token_ != 0) {
+            clock_->cancel(persist_token_);
+            persist_token_ = 0;
+        }
+    }
+
+    void on_persist() {
+        if (failed_ || peer_window_ != 0) return;
+        // A zero-payload segment at snd_nxt elicits a pure ACK carrying the
+        // peer's current window (the classic persist-timer probe).
+        transmit_control(flags::psh, snd_nxt_);
+        ++stats_.window_probes;
+        if (persist_shift_ < 6) ++persist_shift_;
+        arm_persist();
+    }
+
     void on_rto() {
         if (unacked_.empty()) return;
         if (++retries_ > config_.max_retries) {
+            // Give up — and say so: an RST tells the peer this end stopped
+            // retransmitting, instead of leaving it waiting forever.
             failed_ = true;
+            transmit_control(flags::rst, snd_una_);
+            ++stats_.rsts_sent;
             return;
         }
         // Go-back-N: retransmit everything outstanding, with timer backoff.
@@ -336,8 +430,10 @@ private:
     std::uint32_t snd_nxt_;
     std::size_t peer_window_;
     std::uint64_t rto_token_ = 0;
+    std::uint64_t persist_token_ = 0;
     unsigned retries_ = 0;
     unsigned backoff_shift_ = 0;
+    unsigned persist_shift_ = 0;
     bool have_rtt_ = false;
     double srtt_us_ = 0;
     double rttvar_us_ = 0;
@@ -370,6 +466,9 @@ public:
     using processor =
         std::function<rx_process_result(std::span<std::byte> payload)>;
     using accept_handler = std::function<void(std::size_t payload_len)>;
+    // Fires when a checksum-valid RST arrives: the peer's sender exhausted
+    // its retries and abandoned the connection.
+    using failure_handler = std::function<void()>;
 
     tcp_receiver(const Mem& mem, virtual_clock& clock,
                  net::datagram_pipe& ack_out, const connection_config& config)
@@ -385,6 +484,18 @@ public:
 
     void set_processor(processor process) { process_ = std::move(process); }
     void set_accept_handler(accept_handler h) { on_accept_ = std::move(h); }
+    void set_failure_handler(failure_handler h) { on_failure_ = std::move(h); }
+
+    // True once a peer RST has been seen and not yet cleared by reset().
+    bool peer_failed() const noexcept { return peer_failed_; }
+
+    // Rewinds the expected sequence number so the connection can be
+    // re-established after a failure; clears the peer-failed latch.
+    void reset(std::uint32_t isn) {
+        rcv_nxt_ = isn;
+        peer_failed_ = false;
+        ++stats_.resets;
+    }
 
     // tcp_input: one arriving TPDU in kernel memory.
     void on_packet(std::span<const std::byte> kernel_packet) {
@@ -415,6 +526,25 @@ public:
             ++stats_.header_failures;
             return;
         }
+        if ((h.control & flags::rst) != 0) {
+            // Failure signal from the peer's sender.  Sequence numbers are
+            // deliberately not checked — the whole point of the RST is to
+            // reach a peer whose sequence state may have diverged — but the
+            // checksum must verify so a corrupted data segment can't tear
+            // the connection down.
+            if (payload_len == 0 &&
+                verify_segment_checksum(config_.remote_addr,
+                                        config_.local_addr,
+                                        recv_buffer_.subspan(0, header_bytes),
+                                        0, 0)) {
+                ++stats_.rsts_received;
+                peer_failed_ = true;
+                if (on_failure_ != nullptr) on_failure_();
+            } else {
+                ++stats_.header_failures;
+            }
+            return;
+        }
         if (h.seq != rcv_nxt_) {
             // Old duplicate or future segment (go-back-N: not buffered).
             if (seq_lt(h.seq, rcv_nxt_)) {
@@ -425,7 +555,12 @@ public:
             send_ack();  // re-advertise rcv_nxt so the sender resynchronises
             return;
         }
-        if (payload_len == 0) return;  // nothing to deliver
+        if (payload_len == 0) {
+            // Zero-window persist probe (or bare control segment): answer
+            // with a pure ACK so the sender learns the current window.
+            send_ack();
+            return;
+        }
 
         // --- ILP loop stage: the application's data manipulations run over
         // the payload now, before any TCP state is committed.
@@ -485,6 +620,8 @@ private:
     std::uint32_t rcv_nxt_;
     processor process_;
     accept_handler on_accept_;
+    failure_handler on_failure_;
+    bool peer_failed_ = false;
     receiver_stats stats_;
     alignas(8) std::byte ack_buffer_[header_bytes] = {};
 };

@@ -86,8 +86,8 @@ TEST(RpcFuzz, BitflippedValidRequestIsMostlyRejected) {
     // flips in free value fields (ids, counts, filename characters) are
     // legitimately still parseable.
     const auto is_structural = [](std::size_t offset) {
-        return offset < 8 /* length + type */ ||
-               (offset >= 12 && offset < 16) /* filename length word */;
+        return offset < 12 /* length + type + wire version */ ||
+               (offset >= 16 && offset < 20) /* filename length word */;
     };
     constexpr int trials = 500;
     for (int t = 0; t < trials; ++t) {
