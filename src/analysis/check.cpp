@@ -1,0 +1,187 @@
+#include "analysis/check.h"
+
+#include <numeric>
+
+namespace ilp::analysis {
+
+const char* severity_name(severity s) noexcept {
+    switch (s) {
+        case severity::note: return "note";
+        case severity::warning: return "warning";
+        case severity::error: return "error";
+    }
+    return "unknown";
+}
+
+bool passes(const std::vector<finding>& findings) noexcept {
+    for (const finding& f : findings) {
+        if (f.sev == severity::error) return false;
+    }
+    return true;
+}
+
+namespace {
+
+void add(std::vector<finding>& out, const pipeline_model& m, severity sev,
+         const char* rule, std::string message) {
+    out.push_back({sev, rule, m.site, m.name, std::move(message)});
+}
+
+// R4: the analyzer's own input must be coherent before the paper rules can
+// mean anything.
+void check_footprints(const pipeline_model& m, std::vector<finding>& out) {
+    for (const footprint& fp : m.stages) {
+        const std::string who = std::string("stage '") + fp.name + "'";
+        if (fp.unit_bytes == 0) {
+            add(out, m, severity::error, "R4-footprint",
+                who + " declares a zero-byte processing unit");
+            continue;
+        }
+        if (fp.reads_per_unit > fp.unit_bytes ||
+            fp.writes_per_unit > fp.unit_bytes) {
+            add(out, m, severity::error, "R4-footprint",
+                who + " claims to touch more bytes per unit than its unit "
+                      "holds");
+        }
+        if (fp.alignment == 0 || fp.unit_bytes % fp.alignment != 0) {
+            add(out, m, severity::error, "R4-footprint",
+                who + " alignment does not divide its unit size");
+        }
+        if (m.kind == pipeline_kind::fused &&
+            m.exchange_unit_bytes % fp.unit_bytes != 0) {
+            add(out, m, severity::error, "R4-footprint",
+                who + " unit does not divide the exchanged unit Le=" +
+                    std::to_string(m.exchange_unit_bytes) +
+                    " (Le must be the lcm of all fused unit sizes, §2.2)");
+        }
+    }
+}
+
+// R1: ordering-constrained manipulations cannot run under the B,C,A part
+// schedule — their result depends on byte order.
+void check_ordering(const pipeline_model& m, std::vector<finding>& out) {
+    if (!m.out_of_order_parts) return;
+    for (const footprint& fp : m.stages) {
+        if (!fp.ordering_constrained) continue;
+        add(out, m, severity::error, "R1-ordering",
+            std::string("stage '") + fp.name +
+                "' is ordering-constrained but the plan processes message "
+                "parts out of order (B,C,A); process parts linearly or move "
+                "the integrity check to a trailer (paper §2.2, §5)");
+    }
+}
+
+// R2: every header length must be fixed before the fused loop starts; a
+// function that discovers its own extent mid-stream (XDR variable-length
+// decode) stalls the whole integration.
+void check_header_sizes(const pipeline_model& m, std::vector<finding>& out) {
+    if (!m.header_sizes_known) {
+        add(out, m, severity::error, "R2-header-size",
+            "composition enters the loop before all header lengths are "
+            "fixed; ILP requires header sizes known before the loop starts "
+            "(paper §2.2)");
+    }
+    for (const footprint& fp : m.stages) {
+        if (fp.length_known_before_loop) continue;
+        add(out, m, severity::error, "R2-header-size",
+            std::string("stage '") + fp.name +
+                "' determines its own length mid-loop; such functions "
+                "cannot be integrated (paper §2.2)");
+    }
+}
+
+// W1 / W2 / W3 / N1.
+void check_costs(const pipeline_model& m, std::vector<finding>& out) {
+    if (m.kind == pipeline_kind::word_chain) {
+        for (const footprint& fp : m.stages) {
+            if (fp.unit_bytes <= 4) continue;
+            add(out, m, severity::warning, "W1-word-handoff",
+                std::string("filter '") + fp.name + "' works in " +
+                    std::to_string(fp.unit_bytes) +
+                    "-byte units but the chain hands data out as 4-byte "
+                    "words — two stores where one would do; the LCM-unit "
+                    "fused loop avoids this (paper §2.2)");
+        }
+    }
+
+    std::size_t tables = 0;
+    for (const footprint& fp : m.stages) tables += fp.aux_table_bytes;
+    if (tables >= cache_pressure_threshold_bytes) {
+        add(out, m, severity::warning, "W2-cache-pressure",
+            "fused stages touch " + std::to_string(tables) +
+                " bytes of tables/key schedules per unit stream; on an 8 KB "
+                "L1 this competes with packet data and can raise the miss "
+                "ratio instead of lowering it (paper §4.2)");
+    }
+
+    if (m.kind == pipeline_kind::fused &&
+        m.exchange_unit_bytes > register_file_budget_bytes) {
+        add(out, m, severity::warning, "W3-register-pressure",
+            "exchanged unit Le=" + std::to_string(m.exchange_unit_bytes) +
+                " bytes exceeds the register budget; the loop scratch will "
+                "spill and the single-read/single-write property degrades "
+                "(paper §2.2)");
+    }
+
+    // N1: report what each observe-only tap actually covers.  A transformer
+    // *before* the tap means the tap sees transformed data (send-side
+    // checksum over ciphertext); a transformer after it means it sees the
+    // input stream (receive-side checksum over ciphertext before decrypt).
+    for (std::size_t i = 0; i < m.stages.size(); ++i) {
+        const footprint& fp = m.stages[i];
+        if (fp.writes_per_unit != 0 || fp.reads_per_unit == 0) continue;
+        bool transformed_before = false;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (m.stages[j].writes_per_unit > 0) transformed_before = true;
+        }
+        add(out, m, severity::note, "N1-tap-domain",
+            std::string("tap '") + fp.name + "' observes the " +
+                (transformed_before ? "transformed" : "untransformed") +
+                " stream at this position");
+    }
+}
+
+}  // namespace
+
+std::vector<finding> check_part_geometry(const pipeline_model& m,
+                                         const std::vector<part_info>& parts) {
+    std::vector<finding> out;
+    for (const part_info& part : parts) {
+        if (part.len == 0) continue;
+        // The fused loop iterates in whole Le units within each part.
+        if (part.len % m.exchange_unit_bytes != 0) {
+            add(out, m, severity::error, "R3-granularity",
+                "part [" + std::to_string(part.offset) + "," +
+                    std::to_string(part.offset + part.len) + ") length " +
+                    std::to_string(part.len) +
+                    " is not a multiple of the exchanged unit Le=" +
+                    std::to_string(m.exchange_unit_bytes) +
+                    "; the loop would process a torn unit");
+        }
+        for (const footprint& fp : m.stages) {
+            if (part.offset % fp.alignment != 0) {
+                add(out, m, severity::error, "R3-granularity",
+                    "part at stream offset " + std::to_string(part.offset) +
+                        " misaligns stage '" + fp.name + "' (requires " +
+                        std::to_string(fp.alignment) +
+                        "-byte alignment); a " +
+                        std::to_string(fp.unit_bytes) +
+                        "-byte block would straddle the part boundary");
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<finding> check_pipeline(const pipeline_model& model) {
+    std::vector<finding> out;
+    check_footprints(model, out);
+    check_ordering(model, out);
+    check_header_sizes(model, out);
+    std::vector<finding> geom = check_part_geometry(model, model.parts);
+    out.insert(out.end(), geom.begin(), geom.end());
+    check_costs(model, out);
+    return out;
+}
+
+}  // namespace ilp::analysis

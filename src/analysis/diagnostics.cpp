@@ -1,0 +1,112 @@
+#include "analysis/diagnostics.h"
+
+#include <array>
+
+namespace ilp::analysis {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars); the
+// diagnostic strings are ASCII so this is complete for our output.
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    std::array<char, 8> buf{};
+                    std::snprintf(buf.data(), buf.size(), "\\u%04x", c);
+                    out += buf.data();
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+const char* kind_name(pipeline_kind k) {
+    switch (k) {
+        case pipeline_kind::fused: return "fused";
+        case pipeline_kind::word_chain: return "word_chain";
+        case pipeline_kind::layered: return "layered";
+    }
+    return "unknown";
+}
+
+}  // namespace
+
+std::string render_text(const finding& f) {
+    std::string out = f.site;
+    out += ": ";
+    out += severity_name(f.sev);
+    out += ": [";
+    out += f.rule;
+    out += "] ";
+    out += f.message;
+    if (!f.pipeline.empty()) {
+        out += "  (pipeline: ";
+        out += f.pipeline;
+        out += ")";
+    }
+    return out;
+}
+
+std::size_t print_report(std::FILE* out,
+                         const std::vector<finding>& findings) {
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    for (const finding& f : findings) {
+        if (f.sev == severity::error) ++errors;
+        if (f.sev == severity::warning) ++warnings;
+        std::fprintf(out, "%s\n", render_text(f).c_str());
+    }
+    std::fprintf(out, "%zu finding(s): %zu error(s), %zu warning(s)\n",
+                 findings.size(), errors, warnings);
+    return errors;
+}
+
+std::string render_json(const std::vector<pipeline_model>& models,
+                        const std::vector<finding>& findings) {
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::string out = "{\n  \"pipelines\": [\n";
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        const pipeline_model& m = models[i];
+        out += "    {\"name\": \"" + json_escape(m.name) + "\", \"site\": \"" +
+               json_escape(m.site) + "\", \"kind\": \"" + kind_name(m.kind) +
+               "\", \"stages\": [";
+        for (std::size_t j = 0; j < m.stages.size(); ++j) {
+            out += std::string("\"") + json_escape(m.stages[j].name) + "\"";
+            if (j + 1 < m.stages.size()) out += ", ";
+        }
+        out += "], \"exchange_unit_bytes\": " +
+               std::to_string(m.exchange_unit_bytes) + "}";
+        if (i + 1 < models.size()) out += ",";
+        out += "\n";
+    }
+    out += "  ],\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const finding& f = findings[i];
+        if (f.sev == severity::error) ++errors;
+        if (f.sev == severity::warning) ++warnings;
+        out += std::string("    {\"severity\": \"") + severity_name(f.sev) +
+               "\", \"rule\": \"" + json_escape(f.rule) + "\", \"site\": \"" +
+               json_escape(f.site) + "\", \"pipeline\": \"" +
+               json_escape(f.pipeline) + "\", \"message\": \"" +
+               json_escape(f.message) + "\"}";
+        if (i + 1 < findings.size()) out += ",";
+        out += "\n";
+    }
+    out += "  ],\n";
+    out += "  \"errors\": " + std::to_string(errors) + ",\n";
+    out += "  \"warnings\": " + std::to_string(warnings) + "\n}\n";
+    return out;
+}
+
+}  // namespace ilp::analysis

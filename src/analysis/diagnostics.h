@@ -1,0 +1,32 @@
+// Diagnostic rendering for analyzer findings.
+//
+// Text mode mirrors compiler diagnostics so editors and humans parse it at
+// a glance:
+//
+//   src/app/send_path.h:send_message_ilp: error: [R1-ordering] stage
+//   'crc32_tap' is ordering-constrained but ...  (pipeline: app-send-ilp)
+//
+// JSON mode is the machine-readable CI contract: a stable top-level object
+// with per-finding records and summary counts; `ilp-lint --json` emits it
+// and the workflow fails on any error-severity finding.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+
+namespace ilp::analysis {
+
+// One finding in text form (no trailing newline).
+std::string render_text(const finding& f);
+
+// All findings plus a summary line, to `out`.  Returns the error count.
+std::size_t print_report(std::FILE* out, const std::vector<finding>& findings);
+
+// The full JSON document (findings + counts + pipeline inventory).
+std::string render_json(const std::vector<pipeline_model>& models,
+                        const std::vector<finding>& findings);
+
+}  // namespace ilp::analysis

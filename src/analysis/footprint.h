@@ -1,0 +1,93 @@
+// Footprint IR — the static description of one data-manipulation stage.
+//
+// Braun & Diot's applicability rules (§2.2, §5) restrict ILP to fusions of
+// non-ordering-constrained data manipulations whose header sizes are known
+// before the integrated loop starts, composed at compatible granularities.
+// The fused loop itself cannot see those properties — a block cipher and a
+// CRC look identical as `process_unit` callables — so every stage *declares*
+// them as a `footprint`, and the analyzer (src/analysis/check.h) proves a
+// composition legal before it runs.
+//
+// This header is a dependency leaf: src/core, src/crypto and src/checksum
+// include it to attach declarations to their stages, and the checker/lint
+// layers consume it.  It must not include anything from those modules.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+
+namespace ilp::analysis {
+
+// What one stage does to each processing unit that flows through the fused
+// loop, plus the constraints that decide whether fusing it is legal.
+struct footprint {
+    // Diagnostic name ("encrypt", "crc32_tap", ...).  Static storage only.
+    const char* name = "stage";
+
+    // Natural processing-unit size: 2 for the Internet checksum tap, 4 for
+    // XDR words, 8 for block ciphers.  Must match Stage::unit_bytes.
+    std::size_t unit_bytes = 1;
+
+    // Bytes of the unit the stage reads / writes per pass.  A transformer
+    // reads and writes the whole unit; a tap (checksum) reads it and writes
+    // nothing; a generator writes without reading.  writes_per_unit == 0
+    // marks observe-only stages.
+    std::size_t reads_per_unit = 0;
+    std::size_t writes_per_unit = 0;
+
+    // Result depends on processing order (CRC, stream ciphers).  Such stages
+    // may only be fused when message parts run strictly in linear order.
+    bool ordering_constrained = false;
+
+    // Header/length sizes this stage needs are fixed before the loop starts.
+    // False models functions that discover their own extent mid-stream
+    // (XDR variable-length opaque/string decode); the paper rules these out
+    // of ILP entirely.
+    bool length_known_before_loop = true;
+
+    // Required alignment of the stream offset each unit starts at (a cipher
+    // block must not straddle a message-part boundary).
+    std::size_t alignment = 1;
+
+    // Working set of auxiliary memory touched per unit (S-box / log-exp /
+    // CRC tables, key schedules).  Feeds the §4.2 cache-pressure warning:
+    // table-driven manipulations compete with packet data for cache lines.
+    std::size_t aux_table_bytes = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Extraction from stage types.
+//
+// Stages opt in by declaring `static constexpr analysis::footprint
+// footprint_decl{...}`.  Stages without a declaration (e.g. ad-hoc test
+// stages) get a conservative default synthesized from the data_stage
+// members, so composing them still works — the analyzer just has less to
+// say about them.
+
+template <typename S>
+concept has_footprint_decl = requires {
+    { S::footprint_decl.unit_bytes } -> std::convertible_to<std::size_t>;
+};
+
+template <typename S>
+constexpr footprint footprint_of() {
+    if constexpr (has_footprint_decl<S>) {
+        static_assert(S::footprint_decl.unit_bytes == S::unit_bytes,
+                      "footprint declaration disagrees with stage unit size");
+        static_assert(S::footprint_decl.ordering_constrained ==
+                          S::ordering_constrained,
+                      "footprint declaration disagrees with ordering flag");
+        return S::footprint_decl;
+    } else {
+        return footprint{.name = "undeclared",
+                         .unit_bytes = S::unit_bytes,
+                         .reads_per_unit = S::unit_bytes,
+                         .writes_per_unit = S::unit_bytes,
+                         .ordering_constrained = S::ordering_constrained,
+                         .length_known_before_loop = true,
+                         .alignment = S::unit_bytes,
+                         .aux_table_bytes = 0};
+    }
+}
+
+}  // namespace ilp::analysis

@@ -1,0 +1,20 @@
+#include "analysis/registry.h"
+
+namespace ilp::analysis {
+
+std::vector<finding> pipeline_registry::add(pipeline_model model) {
+    std::vector<finding> findings = check_pipeline(model);
+    models_.push_back(std::move(model));
+    return findings;
+}
+
+std::vector<finding> pipeline_registry::check_all() const {
+    std::vector<finding> all;
+    for (const pipeline_model& m : models_) {
+        std::vector<finding> f = check_pipeline(m);
+        all.insert(all.end(), f.begin(), f.end());
+    }
+    return all;
+}
+
+}  // namespace ilp::analysis

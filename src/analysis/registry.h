@@ -1,0 +1,38 @@
+// Pipeline registry — every composition the stack runs, in one place.
+//
+// Each protocol layer registers the pipeline configurations it builds
+// (src/tcp/pipeline_models.h, src/rpc/pipeline_models.h,
+// src/app/path_models.h); `ilp-lint` and the tests walk the registry and
+// check every entry.  Registration is explicit (a function call, not static
+// initializers) so tools control exactly which layers they audit and tests
+// can build throwaway registries.
+#pragma once
+
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/model.h"
+
+namespace ilp::analysis {
+
+class pipeline_registry {
+public:
+    // Checks the model at registration time — the "construction time"
+    // rejection the analyzer promises.  Returns the findings for this model
+    // (the model is recorded either way so lint can report it).
+    std::vector<finding> add(pipeline_model model);
+
+    const std::vector<pipeline_model>& models() const noexcept {
+        return models_;
+    }
+
+    // Re-checks every registered model and returns all findings.
+    std::vector<finding> check_all() const;
+
+    void clear() { models_.clear(); }
+
+private:
+    std::vector<pipeline_model> models_;
+};
+
+}  // namespace ilp::analysis

@@ -1,0 +1,84 @@
+#include "analysis/touch_audit.h"
+
+namespace ilp::analysis {
+
+namespace {
+
+struct deviation {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::uint32_t seen = 0;  // representative observed count in the run
+    bool excess = false;     // redundant (true) vs missed (false)
+};
+
+// Collapses per-byte deviations of one kind (reads or writes) into runs.
+std::vector<deviation> collapse(const memsim::touch_map& map, std::size_t ri,
+                                std::uint32_t expected, bool reads) {
+    std::vector<deviation> runs;
+    const std::size_t n = map.size(ri);
+    for (std::size_t i = 0; i < n; ++i) {
+        const memsim::touch_map::counts& c = map.at(ri, i);
+        const std::uint32_t seen = reads ? c.reads : c.writes;
+        if (seen == expected) continue;
+        const bool excess = seen > expected;
+        if (!runs.empty() && runs.back().end == i &&
+            runs.back().excess == excess && runs.back().seen == seen) {
+            runs.back().end = i + 1;
+        } else {
+            runs.push_back({i, i + 1, seen, excess});
+        }
+    }
+    return runs;
+}
+
+void report(std::vector<finding>& out, const std::string& site,
+            const std::string& pipeline, const std::string& label,
+            const char* what, std::uint32_t expected,
+            const std::vector<deviation>& runs) {
+    for (const deviation& d : runs) {
+        finding f;
+        f.sev = severity::error;
+        f.rule = d.excess ? "A1-redundant-touch" : "A2-missed-touch";
+        f.site = site;
+        f.pipeline = pipeline;
+        f.message = "range '" + label + "' bytes [" + std::to_string(d.begin) +
+                    "," + std::to_string(d.end) + ") saw " +
+                    std::to_string(d.seen) + " " + what + "(s) per byte, " +
+                    "expected exactly " + std::to_string(expected) +
+                    (d.excess ? " — a fused stage touches payload memory "
+                                "it should keep in registers (Fig. 13 "
+                                "single-touch property violated)"
+                              : " — the fused loop skipped payload bytes");
+        out.push_back(std::move(f));
+    }
+}
+
+}  // namespace
+
+std::vector<finding> audit_touches(
+    const memsim::touch_map& map,
+    const std::vector<touch_expectation>& expectations,
+    const std::string& site, const std::string& pipeline) {
+    std::vector<finding> out;
+    for (const touch_expectation& e : expectations) {
+        const std::size_t ri = map.find(e.label);
+        if (ri == memsim::touch_map::npos) {
+            finding f;
+            f.sev = severity::error;
+            f.rule = "A2-missed-touch";
+            f.site = site;
+            f.pipeline = pipeline;
+            f.message =
+                "expectation names unwatched range '" + e.label + "'";
+            out.push_back(std::move(f));
+            continue;
+        }
+        report(out, site, pipeline, e.label, "read", e.reads,
+               collapse(map, ri, e.reads, /*reads=*/true));
+        report(out, site, pipeline, e.label, "write", e.writes,
+               collapse(map, ri, e.writes, /*reads=*/false));
+    }
+    return out;
+}
+
+}  // namespace ilp::analysis

@@ -1,0 +1,48 @@
+// Runtime word-touch auditor — the dynamic half of the fusion analyzer.
+//
+// The static checker proves a composition *may* be fused; this auditor
+// proves a fused run actually delivered the property the fusion exists for:
+// each payload byte read from its source exactly once and written to its
+// destination exactly once (the paper's Figure 13 memory-access counts are
+// exactly this property, summed).  Callers run a fused path under
+// `sim_memory` with a `memsim::touch_map` attached to the memory system,
+// declare what each watched range should have seen, and `audit_touches`
+// turns every deviation into an analyzer finding:
+//
+//   A1-redundant-touch  error  a byte was read/written more often than the
+//                              fused loop needs — a stage re-reads buffer
+//                              memory or data bounces through a staging pass
+//   A2-missed-touch     error  a byte the loop should have processed was
+//                              never touched (torn plan, skipped part)
+//
+// Scratch ("register") traffic is invisible here by construction: the loop
+// works on locals, and only accesses routed through the memory policy are
+// counted — the same rule the simulator applies for Figure 13.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "memsim/touch_map.h"
+
+namespace ilp::analysis {
+
+// What one watched range must have experienced, per byte.
+struct touch_expectation {
+    std::string label;          // matches touch_map::watch's label
+    std::uint32_t reads = 0;    // exact per-byte read count
+    std::uint32_t writes = 0;   // exact per-byte write count
+};
+
+// Compares the map against the expectations.  Contiguous runs of deviating
+// bytes collapse into one finding each (first offset + length), so a
+// systematically wrong loop produces a handful of findings, not thousands.
+// Expectations naming unknown labels produce an A2 finding.
+std::vector<finding> audit_touches(
+    const memsim::touch_map& map,
+    const std::vector<touch_expectation>& expectations,
+    const std::string& site, const std::string& pipeline);
+
+}  // namespace ilp::analysis

@@ -52,6 +52,8 @@ public:
         core::encrypt_stage<Cipher> encrypt(*cipher_);
         auto loop = core::make_pipeline(encrypt);
         static_assert(!decltype(loop)::ordering_constrained);
+        ILP_EXPECT(plan.well_formed() &&
+                   plan.aligned_for(decltype(loop)::required_alignment));
         const core::scatter_dest dst =
             core::span_dest(staging_.subspan(0, wire_bytes));
         for (const core::message_part& part : plan.ilp_order()) {

@@ -1,0 +1,20 @@
+// Application-layer pipeline registrations for the fusion analyzer.
+//
+// These models mirror, stage for stage, the compositions the send/receive
+// data paths actually instantiate (send_path.h, receive_path.h,
+// early_send.h) plus the word-filter baseline the ablation benches run.
+// The stage footprints come from the same types the paths fuse —
+// fused_pipeline<...>::footprints() — so a refactor that changes a path's
+// composition changes its registered model with it; only the schedule
+// (out-of-order vs linear, part geometry) is restated here, because it
+// lives in runtime control flow the analyzer cannot see.
+#pragma once
+
+#include "analysis/registry.h"
+
+namespace ilp::app {
+
+std::vector<analysis::finding> register_app_pipelines(
+    analysis::pipeline_registry& registry);
+
+}  // namespace ilp::app

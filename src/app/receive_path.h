@@ -103,6 +103,12 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
     core::checksum_tap8 tap(acc);            // over the ciphertext...
     core::decrypt_stage<Cipher> dec(cipher);  // ...then decrypt
     auto loop = core::make_pipeline(tap, dec);
+    // The two-phase split at reply_header_region is itself a part cut; it
+    // must land on a cipher-block boundary (analyzer rule R3).
+    static_assert(detail::reply_header_region %
+                          decltype(loop)::required_alignment ==
+                      0,
+                  "header phase must end on a fused-unit boundary");
 
     // Phase 1: decrypt the header region to learn the message geometry.
     detail::reply_header_staging staging;

@@ -68,6 +68,11 @@ bool send_message_ilp(tcp::tcp_sender<Mem>& sender, const Mem& mem,
             auto loop = core::make_pipeline(encrypt, tap);
             static_assert(!decltype(loop)::ordering_constrained,
                           "out-of-order parts require unconstrained stages");
+            // Construction-time fusion-legality guard (analyzer rule R3):
+            // every part cut must respect the strictest stage alignment or
+            // a cipher block would straddle the cut.
+            ILP_EXPECT(plan.well_formed() &&
+                       plan.aligned_for(decltype(loop)::required_alignment));
             const core::scatter_dest ring = core::ring_dest(dst);
             for (const core::message_part& part : plan.ilp_order()) {
                 if (part.empty()) continue;

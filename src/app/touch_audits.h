@@ -1,0 +1,176 @@
+// Word-touch audit drivers for the application data paths.
+//
+// Each driver runs a real fused path under `sim_memory` with a
+// `memsim::touch_map` shadowing the payload-carrying buffers, then asks the
+// analyzer (analysis/touch_audit.h) to verify the Figure 13 property: every
+// source byte read exactly once, every destination byte written exactly
+// once, nothing else.  The send driver replicates `send_message_ilp`'s
+// composition and part schedule over a plain destination span (no TCP ring
+// needed — the loop is identical); the receive driver calls the genuine
+// `receive_reply_ilp`.  Both round-trip the payload so a cipher or plan bug
+// fails loudly rather than producing a clean-but-wrong audit.
+//
+// `ilp-lint --audit` runs these as the dynamic half of the lint pass;
+// tests/analysis_test.cpp runs them plus a seeded double-reading stage that
+// the auditor must catch.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "analysis/touch_audit.h"
+#include "buffer/byte_buffer.h"
+#include "checksum/internet_checksum.h"
+#include "core/fused_pipeline.h"
+#include "core/message_plan.h"
+#include "core/stage.h"
+#include "crypto/block_cipher.h"
+#include "memsim/configs.h"
+#include "memsim/mem_policy.h"
+#include "memsim/touch_map.h"
+#include "rpc/messages.h"
+#include "util/rng.h"
+
+// The receive driver needs the real path; include it last to keep the
+// dependency direction obvious (this header sits above the paths).
+#include "app/receive_path.h"
+
+namespace ilp::app {
+
+struct audit_outcome {
+    std::vector<analysis::finding> findings;
+    bool round_trip_ok = false;  // data survived the path; guards the audit
+};
+
+namespace detail {
+
+inline rpc::reply_header audit_header(std::size_t payload_bytes) {
+    rpc::reply_header h;
+    h.request_id = 1;
+    h.copy_index = 0;
+    h.offset = 0;
+    h.total_bytes = static_cast<std::uint32_t>(payload_bytes);
+    return h;
+}
+
+// Builds the encrypted wire image of an audit reply with a plain
+// direct-memory send pass (unaudited — this is the fixture, not the subject).
+template <crypto::block_cipher Cipher>
+void build_wire(const Cipher& cipher, const rpc::reply_layout& layout,
+                std::span<const std::byte> payload,
+                std::span<std::byte> wire) {
+    rpc::reply_staging staging;
+    const core::gather_source src =
+        rpc::make_reply_source(detail::audit_header(payload.size()), payload,
+                               staging);
+    const memsim::direct_memory mem;
+    checksum::inet_accumulator acc;
+    core::encrypt_stage<Cipher> enc(cipher);
+    core::checksum_tap8 tap(acc);
+    auto loop = core::make_pipeline(enc, tap);
+    const core::scatter_dest dst = core::span_dest(wire);
+    for (const core::message_part& part : layout.plan.ilp_order()) {
+        if (part.empty()) continue;
+        loop.run(mem, src.slice(part.offset, part.len),
+                 dst.slice(part.offset, part.len));
+    }
+}
+
+}  // namespace detail
+
+// Audits the fused send composition: encrypt+checksum over the B,C,A part
+// schedule, application memory -> wire image.
+template <crypto::block_cipher Cipher>
+audit_outcome audit_fused_send(const Cipher& cipher,
+                               std::size_t payload_bytes = 1024) {
+    const rpc::reply_layout layout = rpc::layout_reply(payload_bytes);
+    byte_buffer payload(payload_bytes);
+    rng(11).fill(payload.span());
+    rpc::reply_staging staging;
+    const core::gather_source src = rpc::make_reply_source(
+        detail::audit_header(payload_bytes), payload.span(), staging);
+    byte_buffer wire(layout.wire_bytes);
+
+    memsim::memory_system sys(memsim::test_tiny());
+    memsim::touch_map map;
+    map.watch("msg-staging", staging.bytes, sizeof staging.bytes);
+    map.watch("msg-payload", payload.data(), payload.size());
+    map.watch("wire", wire.data(), wire.size());
+    sys.set_touch_map(&map);
+    const memsim::sim_memory mem(sys);
+
+    checksum::inet_accumulator acc;
+    core::encrypt_stage<Cipher> enc(cipher);
+    core::checksum_tap8 tap(acc);
+    auto loop = core::make_pipeline(enc, tap);
+    ILP_EXPECT(layout.plan.well_formed() &&
+               layout.plan.aligned_for(decltype(loop)::required_alignment));
+    const core::scatter_dest dst = core::span_dest(wire.span());
+    for (const core::message_part& part : layout.plan.ilp_order()) {
+        if (part.empty()) continue;
+        loop.run(mem, src.slice(part.offset, part.len),
+                 dst.slice(part.offset, part.len));
+    }
+    sys.set_touch_map(nullptr);
+
+    audit_outcome out;
+    out.findings = analysis::audit_touches(
+        map,
+        {{"msg-staging", 1, 0}, {"msg-payload", 1, 0}, {"wire", 0, 1}},
+        "src/app/send_path.h:send_message_ilp", "app-send-ilp");
+
+    // Round trip: decrypt the wire with a plain pass and compare payloads.
+    byte_buffer plain(layout.wire_bytes);
+    {
+        const memsim::direct_memory raw;
+        core::decrypt_stage<Cipher> dec(cipher);
+        auto undo = core::make_pipeline(dec);
+        undo.run(raw, core::span_source(wire.span()),
+                 core::span_dest(plain.span()));
+    }
+    out.round_trip_ok =
+        std::memcmp(plain.data() + rpc::reply_payload_offset, payload.data(),
+                    payload_bytes) == 0;
+    return out;
+}
+
+// Audits the fused receive path: the genuine receive_reply_ilp, wire image
+// -> application destination buffer.
+template <crypto::block_cipher Cipher>
+audit_outcome audit_fused_receive(const Cipher& cipher,
+                                  std::size_t payload_bytes = 1024) {
+    const rpc::reply_layout layout = rpc::layout_reply(payload_bytes);
+    byte_buffer payload(payload_bytes);
+    rng(13).fill(payload.span());
+    byte_buffer wire(layout.wire_bytes);
+    detail::build_wire(cipher, layout, payload.span(), wire.span());
+
+    byte_buffer dest(payload_bytes);
+    memsim::memory_system sys(memsim::test_tiny());
+    memsim::touch_map map;
+    map.watch("wire", wire.data(), wire.size());
+    map.watch("reply-dest", dest.data(), dest.size());
+    sys.set_touch_map(&map);
+    const memsim::sim_memory mem(sys);
+
+    path_counters counters;
+    rpc::reply_header header;
+    const tcp::rx_process_result result = receive_reply_ilp(
+        mem, cipher, wire.span(),
+        [&](const rpc::reply_header&, std::size_t n) -> std::span<std::byte> {
+            return n == dest.size() ? dest.span() : std::span<std::byte>{};
+        },
+        &header, counters);
+    sys.set_touch_map(nullptr);
+
+    audit_outcome out;
+    out.findings = analysis::audit_touches(
+        map, {{"wire", 1, 0}, {"reply-dest", 0, 1}},
+        "src/app/receive_path.h:receive_reply_ilp", "app-recv-reply-ilp");
+    out.round_trip_ok =
+        result.ok &&
+        std::memcmp(dest.data(), payload.data(), payload_bytes) == 0;
+    return out;
+}
+
+}  // namespace ilp::app

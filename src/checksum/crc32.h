@@ -18,6 +18,10 @@ namespace ilp::checksum {
 
 class crc32 {
 public:
+    // Size of the lookup table read through the memory policy (256 × u32);
+    // the analyzer's cache-pressure accounting (§4.2) uses this.
+    static constexpr std::size_t table_size_bytes = 256 * 4;
+
     // Appends bytes through a memory-access policy; the 256-entry lookup
     // table is itself memory and its reads are counted, because table
     // pressure is exactly the cache effect the paper analyses for

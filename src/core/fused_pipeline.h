@@ -14,10 +14,13 @@
 // dynamic_pipeline.h keeps the function-call variant for that ablation.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <tuple>
 #include <utility>
+#include <vector>
 
+#include "analysis/footprint.h"
 #include "core/gather.h"
 #include "core/stage.h"
 #include "memsim/mem_policy.h"
@@ -38,6 +41,18 @@ public:
     // message planner consults this before scheduling parts out of order.
     static constexpr bool ordering_constrained =
         (false || ... || Stages::ordering_constrained);
+
+    // Strictest stream-offset alignment any fused stage demands; slicing a
+    // message at an offset that violates this makes a stage's block
+    // straddle the cut (the analyzer's R3-granularity rule).
+    static constexpr std::size_t required_alignment = std::max(
+        {std::size_t{1}, analysis::footprint_of<Stages>().alignment...});
+
+    // The composition's footprints in fusion order, for the analyzer and
+    // the per-layer pipeline registrations.
+    static std::vector<analysis::footprint> footprints() {
+        return {analysis::footprint_of<Stages>()...};
+    }
 
     explicit fused_pipeline(Stages&... stages) : stages_(&stages...) {}
 

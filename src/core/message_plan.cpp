@@ -5,6 +5,25 @@
 
 namespace ilp::core {
 
+bool message_plan::well_formed() const noexcept {
+    if (part_a.offset != 0) return false;
+    std::size_t cursor = part_a.len;
+    if (part_b.offset != cursor) return false;
+    cursor += part_b.len;
+    if (part_c.offset != cursor) return false;
+    cursor += part_c.len;
+    return cursor == total_bytes && marshalled_bytes <= total_bytes &&
+           total_bytes - marshalled_bytes == padding_bytes;
+}
+
+bool message_plan::aligned_for(std::size_t unit) const noexcept {
+    if (unit == 0) return false;
+    for (const message_part& part : linear_order()) {
+        if (part.offset % unit != 0 || part.len % unit != 0) return false;
+    }
+    return true;
+}
+
 message_plan plan_parts(std::size_t marshalled_bytes) {
     ILP_EXPECT(marshalled_bytes >= encryption_header_bytes);
 

@@ -58,6 +58,17 @@ struct message_plan {
     std::array<message_part, 3> linear_order() const noexcept {
         return {part_a, part_b, part_c};
     }
+
+    // Structural sanity: parts tile [0, total_bytes) exactly, in stream
+    // order A, B, C, with no gaps or overlaps.
+    bool well_formed() const noexcept;
+
+    // True when every part starts and ends on a multiple of `unit` — the
+    // cheap construction-time granularity guard the data paths apply before
+    // streaming parts through a fused loop whose exchanged unit (or
+    // strictest stage alignment) is `unit`.  A failing plan would make a
+    // cipher block straddle a part cut (analyzer rule R3-granularity).
+    bool aligned_for(std::size_t unit) const noexcept;
 };
 
 // Plans the parts for a message whose marshalled size (including the

@@ -18,12 +18,20 @@
 // The fused pipeline (fused_pipeline.h) composes stages at compile time and
 // feeds each one sub-units of the exchanged unit Le = lcm of all stage unit
 // sizes (paper §2.2).
+//
+// Each stage additionally declares a `footprint_decl` (analysis/footprint.h)
+// — granularity, bytes read/written per unit, ordering and header-size
+// constraints, alignment, table working set — which the fusion-legality
+// analyzer and `ilp-lint` check compositions against.  footprint_of<>
+// statically cross-checks the declaration against unit_bytes /
+// ordering_constrained, so the two views cannot drift apart.
 #pragma once
 
 #include <concepts>
 #include <cstdint>
 #include <cstring>
 
+#include "analysis/footprint.h"
 #include "checksum/crc32.h"
 #include "checksum/internet_checksum.h"
 #include "crypto/block_cipher.h"
@@ -50,6 +58,15 @@ concept data_stage =
 struct xdr_encode_stage {
     static constexpr std::size_t unit_bytes = 4;
     static constexpr bool ordering_constrained = false;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "xdr_encode",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = unit_bytes,
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,  // fixed 4-byte integers
+        .alignment = 4,
+        .aux_table_bytes = 0};
 
     template <memsim::memory_policy Mem>
     ILP_ALWAYS_INLINE void process_unit(const Mem& /*mem*/,
@@ -66,6 +83,15 @@ struct xdr_encode_stage {
 struct xdr_decode_stage {
     static constexpr std::size_t unit_bytes = 4;
     static constexpr bool ordering_constrained = false;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "xdr_decode",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = unit_bytes,
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,
+        .alignment = 4,
+        .aux_table_bytes = 0};
 
     template <memsim::memory_policy Mem>
     ILP_ALWAYS_INLINE void process_unit(const Mem& /*mem*/,
@@ -81,6 +107,15 @@ struct xdr_decode_stage {
 struct opaque_stage {
     static constexpr std::size_t unit_bytes = 4;
     static constexpr bool ordering_constrained = false;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "opaque",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = 0,  // identity: touches nothing
+        .writes_per_unit = 0,
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,
+        .alignment = 1,
+        .aux_table_bytes = 0};
 
     template <memsim::memory_policy Mem>
     ILP_ALWAYS_INLINE void process_unit(const Mem& /*mem*/,
@@ -95,6 +130,15 @@ class encrypt_stage {
 public:
     static constexpr std::size_t unit_bytes = Cipher::block_bytes;
     static constexpr bool ordering_constrained = false;  // ECB block mode
+    static constexpr analysis::footprint footprint_decl{
+        .name = "encrypt",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = unit_bytes,
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,  // block extent fixed by padding
+        .alignment = unit_bytes,  // a block must not straddle a part cut
+        .aux_table_bytes = crypto::cipher_table_bytes<Cipher>()};
 
     explicit encrypt_stage(const Cipher& cipher) : cipher_(&cipher) {}
 
@@ -112,6 +156,15 @@ class decrypt_stage {
 public:
     static constexpr std::size_t unit_bytes = Cipher::block_bytes;
     static constexpr bool ordering_constrained = false;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "decrypt",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = unit_bytes,
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,
+        .alignment = unit_bytes,
+        .aux_table_bytes = crypto::cipher_table_bytes<Cipher>()};
 
     explicit decrypt_stage(const Cipher& cipher) : cipher_(&cipher) {}
 
@@ -135,6 +188,15 @@ class checksum_tap8 {
 public:
     static constexpr std::size_t unit_bytes = 8;
     static constexpr bool ordering_constrained = false;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "checksum_tap8",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = 0,  // observe-only tap
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,
+        .alignment = 2,  // 16-bit one's-complement columns
+        .aux_table_bytes = 0};
 
     explicit checksum_tap8(checksum::inet_accumulator& acc) : acc_(&acc) {}
 
@@ -156,6 +218,15 @@ class checksum_tap2 {
 public:
     static constexpr std::size_t unit_bytes = 2;
     static constexpr bool ordering_constrained = false;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "checksum_tap2",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = 0,
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,
+        .alignment = 2,
+        .aux_table_bytes = 0};
 
     explicit checksum_tap2(checksum::inet_accumulator& acc) : acc_(&acc) {}
 
@@ -179,6 +250,15 @@ class crc32_tap {
 public:
     static constexpr std::size_t unit_bytes = 4;
     static constexpr bool ordering_constrained = true;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "crc32_tap",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = 0,
+        .ordering_constrained = ordering_constrained,  // serial remainder
+        .length_known_before_loop = true,
+        .alignment = 1,
+        .aux_table_bytes = checksum::crc32::table_size_bytes};
 
     explicit crc32_tap(checksum::crc32& crc) : crc_(&crc) {}
 

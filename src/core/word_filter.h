@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <vector>
 
+#include "analysis/footprint.h"
 #include "checksum/internet_checksum.h"
 #include "crypto/block_cipher.h"
 #include "memsim/mem_policy.h"
@@ -38,6 +40,20 @@ public:
     virtual ~word_filter() = default;
 
     void set_next(word_filter* next) noexcept { next_ = next; }
+    const word_filter* next() const noexcept { return next_; }
+
+    // The filter's declared footprint for the fusion analyzer; concrete
+    // filters override to report their real granularity and constraints.
+    virtual analysis::footprint footprint() const {
+        return {.name = "word_filter",
+                .unit_bytes = 4,
+                .reads_per_unit = 4,
+                .writes_per_unit = 4,
+                .ordering_constrained = false,
+                .length_known_before_loop = true,
+                .alignment = 4,
+                .aux_table_bytes = 0};
+    }
 
     // Pushes one word into this filter.
     virtual void put(const Mem& mem, filter_word w) = 0;
@@ -79,6 +95,18 @@ public:
 
     explicit cipher_word_filter(const Cipher& cipher) : cipher_(&cipher) {}
 
+    analysis::footprint footprint() const override {
+        return {.name = Encrypt ? "cipher_filter(encrypt)"
+                                : "cipher_filter(decrypt)",
+                .unit_bytes = Cipher::block_bytes,
+                .reads_per_unit = Cipher::block_bytes,
+                .writes_per_unit = Cipher::block_bytes,
+                .ordering_constrained = false,
+                .length_known_before_loop = true,
+                .alignment = Cipher::block_bytes,
+                .aux_table_bytes = crypto::cipher_table_bytes<Cipher>()};
+    }
+
     void put(const Mem& mem, filter_word w) override {
         std::memcpy(block_ + 4 * filled_, &w.value, 4);
         if (++filled_ < block_words) return;
@@ -115,6 +143,17 @@ public:
     explicit checksum_word_filter(checksum::inet_accumulator& acc)
         : acc_(&acc) {}
 
+    analysis::footprint footprint() const override {
+        return {.name = "checksum_filter",
+                .unit_bytes = 4,
+                .reads_per_unit = 4,
+                .writes_per_unit = 0,  // tap: passes words through untouched
+                .ordering_constrained = false,
+                .length_known_before_loop = true,
+                .alignment = 2,
+                .aux_table_bytes = 0};
+    }
+
     void put(const Mem& mem, filter_word w) override {
         acc_->add_register_u32(w.value);
         this->emit(mem, w);
@@ -131,6 +170,17 @@ private:
 template <memsim::memory_policy Mem>
 class xdr_word_filter final : public word_filter<Mem> {
 public:
+    analysis::footprint footprint() const override {
+        return {.name = "xdr_filter",
+                .unit_bytes = 4,
+                .reads_per_unit = 4,
+                .writes_per_unit = 4,
+                .ordering_constrained = false,
+                .length_known_before_loop = true,
+                .alignment = 4,
+                .aux_table_bytes = 0};
+    }
+
     void put(const Mem& mem, filter_word w) override {
         w.value = host_to_be32(w.value);
         this->emit(mem, w);
@@ -145,6 +195,17 @@ class sink_word_filter final : public word_filter<Mem> {
 public:
     explicit sink_word_filter(std::span<std::byte> dst) : dst_(dst) {}
 
+    analysis::footprint footprint() const override {
+        return {.name = "sink_filter",
+                .unit_bytes = 4,
+                .reads_per_unit = 0,
+                .writes_per_unit = 4,  // one 4-byte store per word
+                .ordering_constrained = false,
+                .length_known_before_loop = true,
+                .alignment = 4,
+                .aux_table_bytes = 0};
+    }
+
     void put(const Mem& mem, filter_word w) override {
         ILP_EXPECT(pos_ + 4 <= dst_.size());
         mem.store_u32(dst_.data() + pos_, w.value);
@@ -157,5 +218,19 @@ private:
     std::span<std::byte> dst_;
     std::size_t pos_ = 0;
 };
+
+// Walks a chain head-to-sink and collects each filter's declared footprint,
+// in push order — the word-chain analogue of fused_pipeline::footprints().
+// The analyzer checks the result like any fused composition, plus the
+// word-handoff warning that is the chain's §2.2 signature cost.
+template <memsim::memory_policy Mem>
+std::vector<analysis::footprint> chain_footprints(
+    const word_filter<Mem>& first) {
+    std::vector<analysis::footprint> out;
+    for (const word_filter<Mem>* f = &first; f != nullptr; f = f->next()) {
+        out.push_back(f->footprint());
+    }
+    return out;
+}
 
 }  // namespace ilp::core

@@ -22,11 +22,33 @@ concept block_cipher =
         c.decrypt_block(mem, block);
     };
 
+// Table/key-schedule working set a cipher touches *through the memory
+// policy* per block (bytes).  This is the §4.2 cache-pressure axis — the
+// difference between table-driven SAFER (log/exp tables compete with packet
+// data for cache lines) and the constant-based simple_cipher (nothing) —
+// and it feeds each cipher stage's footprint declaration for the analyzer's
+// W2-cache-pressure rule.  Ciphers opt in with a `table_bytes` constant;
+// absent a declaration the working set is taken as zero.
+template <typename C>
+concept declares_table_bytes = requires {
+    { C::table_bytes } -> std::convertible_to<std::size_t>;
+};
+
+template <typename C>
+constexpr std::size_t cipher_table_bytes() {
+    if constexpr (declares_table_bytes<C>) {
+        return C::table_bytes;
+    } else {
+        return 0;
+    }
+}
+
 // Identity cipher: lets the same data paths run unencrypted transfers (and
 // isolates marshalling/checksum behaviour in tests and ablations).
 class null_cipher {
 public:
     static constexpr std::size_t block_bytes = 8;
+    static constexpr std::size_t table_bytes = 0;  // touches no memory at all
 
     template <memsim::memory_policy Mem>
     void encrypt_block(const Mem& /*mem*/, std::byte* /*block*/) const {}

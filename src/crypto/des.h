@@ -26,6 +26,10 @@ public:
     static constexpr std::size_t block_bytes = 8;
     static constexpr std::size_t key_bytes = 8;  // parity bits ignored
 
+    // The eight 64-entry S-boxes are read through the memory policy; the
+    // subkeys live in registers by the time feistel() runs.
+    static constexpr std::size_t table_bytes = 8 * 64;
+
     explicit des(std::span<const std::byte> key);
 
     template <memsim::memory_policy Mem>

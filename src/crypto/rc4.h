@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <span>
 
+#include "analysis/footprint.h"
 #include "memsim/mem_policy.h"
 #include "util/contracts.h"
 
@@ -78,6 +79,15 @@ class rc4_stage {
 public:
     static constexpr std::size_t unit_bytes = 8;
     static constexpr bool ordering_constrained = true;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "rc4",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = unit_bytes,
+        .ordering_constrained = ordering_constrained,  // keystream position
+        .length_known_before_loop = true,
+        .alignment = 1,  // byte stream: any offset, but only in order
+        .aux_table_bytes = 256};  // the S-box state array
 
     explicit rc4_stage(rc4& cipher) : cipher_(&cipher) {}
 

@@ -39,6 +39,11 @@ public:
     static constexpr unsigned default_rounds = 6;
     static constexpr unsigned max_rounds = 10;
 
+    // Working set read through the memory policy per block: the two
+    // 256-byte exp/log tables plus the expanded key schedule (§4.2).
+    static constexpr std::size_t table_bytes =
+        2 * 256 + (2 * max_rounds + 1) * key_bytes;
+
     safer_k64(std::span<const std::byte> key, unsigned rounds);
     explicit safer_k64(std::span<const std::byte> key)
         : safer_k64(key, default_rounds) {}

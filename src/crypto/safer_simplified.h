@@ -30,6 +30,9 @@ public:
     static constexpr std::size_t block_bytes = 8;
     static constexpr std::size_t key_bytes = 8;
 
+    // Exp/log tables plus the single subkey row it reads per block (§4.2).
+    static constexpr std::size_t table_bytes = 2 * 256 + key_bytes;
+
     explicit safer_simplified(std::span<const std::byte> key)
         : schedule_(key, 1) {}
 

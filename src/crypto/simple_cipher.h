@@ -26,6 +26,10 @@ public:
     static constexpr std::size_t block_bytes = 8;
     static constexpr std::size_t key_bytes = 8;
 
+    // Constant-based: no tables, no counted key loads — the paper's §4.1
+    // "simple cipher" whose ILP fusion never pressures the cache.
+    static constexpr std::size_t table_bytes = 0;
+
     explicit simple_cipher(std::span<const std::byte> key) {
         ILP_EXPECT(key.size() == key_bytes);
         std::uint64_t k = 0;

@@ -21,6 +21,7 @@ std::uint64_t memory_system::charge_miss(std::uint64_t addr, access_kind kind) {
 void memory_system::data_access(std::uint64_t addr, std::size_t bytes,
                                 access_kind kind) {
     ILP_EXPECT(bytes > 0);
+    if (touch_map_ != nullptr) touch_map_->on_access(addr, bytes, kind);
     access_histogram& hist =
         kind == access_kind::read ? data_stats_.reads : data_stats_.writes;
     const std::size_t bucket = size_bucket(bytes);

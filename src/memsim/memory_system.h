@@ -12,6 +12,7 @@
 
 #include "memsim/access.h"
 #include "memsim/cache.h"
+#include "memsim/touch_map.h"
 
 namespace ilp::memsim {
 
@@ -78,6 +79,13 @@ public:
     // measurement), or flushes everything with cold_caches = true.
     void reset(bool cold_caches);
 
+    // Attaches a shadow touch map (touch_map.h); every subsequent data
+    // access is also reported there, at its original (unsplit) address and
+    // size.  Pass nullptr to detach.  The map is the word-touch auditor's
+    // data source and is not owned by the memory system.
+    void set_touch_map(touch_map* map) noexcept { touch_map_ = map; }
+    touch_map* attached_touch_map() const noexcept { return touch_map_; }
+
 private:
     // Charges the levels below L1 for one missing line; returns cycles.
     std::uint64_t charge_miss(std::uint64_t addr, access_kind kind);
@@ -87,6 +95,7 @@ private:
     std::optional<cache> l2_;
     timing_model timing_;
 
+    touch_map* touch_map_ = nullptr;
     access_stats data_stats_;
     std::uint64_t ifetches_ = 0;
     std::uint64_t ifetch_misses_ = 0;

@@ -1,0 +1,25 @@
+// RPC-layer pipeline registrations for the fusion analyzer.
+//
+// The RPC layer owns two framing schemes, with opposite fusion properties:
+//
+//  * Header framing (messages.h): the encrypted length field leads the
+//    message, forcing the §3.2.2 out-of-order part schedule (B, C, A).
+//    Only non-ordering-constrained stages may fuse — the analyzer's
+//    R1-ordering rule enforces exactly what the paper argues.
+//
+//  * Trailer framing (trailer.h, the paper's §5 future-work format): the
+//    length trails the data, the sender runs strictly front-to-back, and
+//    ordering-constrained stages (CRC-32) become fusable.  Registering the
+//    trailer+CRC composition as *linear* documents that legality in the
+//    lint inventory — the same stages registered under header framing
+//    would be rejected.
+#pragma once
+
+#include "analysis/registry.h"
+
+namespace ilp::rpc {
+
+std::vector<analysis::finding> register_rpc_pipelines(
+    analysis::pipeline_registry& registry);
+
+}  // namespace ilp::rpc

@@ -1,0 +1,51 @@
+#include "tcp/pipeline_models.h"
+
+#include "core/fused_pipeline.h"
+#include "core/stage.h"
+
+namespace ilp::tcp {
+
+std::vector<analysis::finding> register_tcp_pipelines(
+    analysis::pipeline_registry& registry) {
+    using namespace analysis;
+    std::vector<finding> all;
+
+    {
+        pipeline_model m;
+        m.name = "tcp-output-checksum";
+        m.site = "src/tcp/connection.h:tcp_output";
+        m.kind = pipeline_kind::fused;
+        m.stages = core::fused_pipeline<core::checksum_tap8>::footprints();
+        m.exchange_unit_bytes =
+            core::fused_pipeline<core::checksum_tap8>::unit_bytes;
+        std::vector<finding> f = registry.add(std::move(m));
+        all.insert(all.end(), f.begin(), f.end());
+    }
+    {
+        pipeline_model m;
+        m.name = "tcp-input-checksum";
+        m.site = "src/tcp/connection.h:tcp_input";
+        m.kind = pipeline_kind::fused;
+        m.stages = core::fused_pipeline<core::checksum_tap8>::footprints();
+        m.exchange_unit_bytes =
+            core::fused_pipeline<core::checksum_tap8>::unit_bytes;
+        std::vector<finding> f = registry.add(std::move(m));
+        all.insert(all.end(), f.begin(), f.end());
+    }
+    {
+        // The ring copy the non-fused send path performs (a pure move
+        // through the widest units, fused_pipeline<> with no stages).
+        pipeline_model m;
+        m.name = "tcp-ring-copy";
+        m.site = "src/tcp/connection.h:tcp_sender::send_message";
+        m.kind = pipeline_kind::fused;
+        m.stages = core::fused_pipeline<>::footprints();
+        m.exchange_unit_bytes = core::fused_pipeline<>::unit_bytes;
+        std::vector<finding> f = registry.add(std::move(m));
+        all.insert(all.end(), f.begin(), f.end());
+    }
+
+    return all;
+}
+
+}  // namespace ilp::tcp

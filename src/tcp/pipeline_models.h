@@ -1,0 +1,22 @@
+// TCP-layer pipeline registrations for the fusion analyzer.
+//
+// The TCP layer runs two data manipulations of its own: the pseudo-header
+// Internet checksum over outgoing segments when the send filler didn't
+// already fold it in (tcp_output), and the verification checksum over
+// incoming segments (tcp_input).  Both are single-stage "fusions" — a bare
+// checksum tap over the wire bytes — but registering them keeps the lint
+// inventory honest: every place the stack touches payload data appears in
+// `ilp-lint --list`.
+#pragma once
+
+#include "analysis/registry.h"
+
+namespace ilp::tcp {
+
+// Registers the TCP-layer pipeline configurations; returns any findings
+// raised at registration (none are expected — failures here mean the layer
+// composed an illegal pipeline).
+std::vector<analysis::finding> register_tcp_pipelines(
+    analysis::pipeline_registry& registry);
+
+}  // namespace ilp::tcp

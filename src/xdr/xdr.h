@@ -26,6 +26,34 @@ namespace ilp::xdr {
 // XDR word size: every encoded item is a multiple of this.
 inline constexpr std::size_t unit_bytes = 4;
 
+// ---------------------------------------------------------------------------
+// Per-function applicability metadata (paper §2.2), consumed by the fusion
+// analyzer in src/analysis.  Marshalling a fixed-layout value is fusable:
+// its wire extent is known before the loop starts.  Variable-length forms
+// (opaque<>, string<>, arrays with a leading count word) read their own
+// length from mid-stream — the exact "header size only known inside the
+// loop" case the paper rules out of ILP.  The stub compiler therefore emits
+// fused stages only for fixed-layout prefixes and falls back to the
+// control-plane reader for variable tails; ilp-lint flags any composition
+// that violates this.
+
+struct function_constraints {
+    const char* name = "";
+    bool ordering_constrained = false;     // all XDR codecs are stateless
+    bool length_known_before_loop = true;  // false: self-describing extent
+};
+
+inline constexpr function_constraints int_codec{"xdr_int", false, true};
+inline constexpr function_constraints hyper_codec{"xdr_hyper", false, true};
+inline constexpr function_constraints bool_codec{"xdr_bool", false, true};
+inline constexpr function_constraints enum_codec{"xdr_enum", false, true};
+inline constexpr function_constraints opaque_fixed_codec{"xdr_opaque_fixed",
+                                                         false, true};
+inline constexpr function_constraints opaque_varlen_codec{"xdr_opaque", false,
+                                                          false};
+inline constexpr function_constraints string_codec{"xdr_string", false, false};
+inline constexpr function_constraints array_codec{"xdr_array", false, false};
+
 constexpr std::size_t padded_size(std::size_t n) noexcept {
     return (n + unit_bytes - 1) / unit_bytes * unit_bytes;
 }

@@ -1,0 +1,182 @@
+// ilp-lint — fusion-legality linter for every pipeline the stack registers.
+//
+// Walks the pipeline registry (populated by the TCP, RPC and application
+// layers), runs the paper's applicability rules over each composition, and
+// reports compiler-style diagnostics.  Exit status is the CI contract:
+// 0 when no error-severity finding exists, 1 otherwise.
+//
+//   ilp-lint             text diagnostics over all registered pipelines
+//   ilp-lint --json      machine-readable report (findings + inventory)
+//   ilp-lint --list      inventory only: every pipeline and its stages
+//   ilp-lint --audit     additionally run the word-touch audits (the
+//                        dynamic exactly-once check) on the fused
+//                        send/receive paths under the memory simulator
+//   ilp-lint --sweep=N   additionally check part geometry for every
+//                        marshalled size up to N bytes against the send
+//                        plan (plan_parts), catching torn-unit sizes
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/registry.h"
+#include "app/path_models.h"
+#include "app/touch_audits.h"
+#include "core/message_plan.h"
+#include "crypto/safer_k64.h"
+#include "rpc/pipeline_models.h"
+#include "tcp/pipeline_models.h"
+
+namespace {
+
+using namespace ilp;
+
+void register_builtin_pipelines(analysis::pipeline_registry& registry) {
+    // Registration findings are discarded here; check_all() re-derives the
+    // complete set so the report covers every model exactly once.
+    (void)tcp::register_tcp_pipelines(registry);
+    (void)rpc::register_rpc_pipelines(registry);
+    (void)app::register_app_pipelines(registry);
+}
+
+void print_inventory(const analysis::pipeline_registry& registry) {
+    const char* kind_names[] = {"fused", "word_chain", "layered"};
+    for (const analysis::pipeline_model& m : registry.models()) {
+        std::printf("%-24s %-10s Le=%-3zu %s\n", m.name.c_str(),
+                    kind_names[static_cast<int>(m.kind)],
+                    m.exchange_unit_bytes, m.site.c_str());
+        for (const analysis::footprint& fp : m.stages) {
+            std::printf("    %-24s unit=%zu r/w=%zu/%zu align=%zu%s%s%s\n",
+                        fp.name, fp.unit_bytes, fp.reads_per_unit,
+                        fp.writes_per_unit, fp.alignment,
+                        fp.ordering_constrained ? " ordering-constrained" : "",
+                        fp.length_known_before_loop ? "" : " mid-loop-length",
+                        fp.aux_table_bytes != 0 ? " tables" : "");
+        }
+    }
+    std::printf("%zu pipelines registered\n", registry.models().size());
+}
+
+// Geometry sweep: plan_parts() must produce a legal B,C,A plan for every
+// message size the marshaller can emit.  A regression that breaks the
+// padding math shows up here long before a runtime assertion does.
+std::vector<analysis::finding> sweep_plans(
+    const analysis::pipeline_registry& registry, std::size_t max_bytes) {
+    std::vector<analysis::finding> out;
+    const analysis::pipeline_model* send_model = nullptr;
+    for (const analysis::pipeline_model& m : registry.models()) {
+        if (m.name == "app-send-ilp") send_model = &m;
+    }
+    if (send_model == nullptr) return out;
+    for (std::size_t marshalled = core::encryption_header_bytes;
+         marshalled <= max_bytes; marshalled += 4) {
+        const core::message_plan plan = core::plan_parts(marshalled);
+        std::vector<analysis::part_info> parts;
+        for (const core::message_part& p : plan.ilp_order()) {
+            if (!p.empty()) parts.push_back({p.offset, p.len});
+        }
+        std::vector<analysis::finding> f =
+            analysis::check_part_geometry(*send_model, parts);
+        for (analysis::finding& one : f) {
+            one.message += " (marshalled size " + std::to_string(marshalled) +
+                           " in sweep)";
+            out.push_back(std::move(one));
+        }
+        if (!plan.well_formed()) {
+            out.push_back({analysis::severity::error, "R3-granularity",
+                           send_model->site, send_model->name,
+                           "plan_parts(" + std::to_string(marshalled) +
+                               ") produced a malformed plan"});
+        }
+    }
+    return out;
+}
+
+std::vector<analysis::finding> run_audits() {
+    std::vector<analysis::finding> out;
+    std::array<std::byte, crypto::safer_k64::key_bytes> key{};
+    rng(3).fill(key);
+    const crypto::safer_k64 cipher(key);
+
+    app::audit_outcome send = app::audit_fused_send(cipher);
+    app::audit_outcome recv = app::audit_fused_receive(cipher);
+    out.insert(out.end(), send.findings.begin(), send.findings.end());
+    out.insert(out.end(), recv.findings.begin(), recv.findings.end());
+    if (!send.round_trip_ok) {
+        out.push_back({analysis::severity::error, "A0-audit-fixture",
+                       "src/app/send_path.h:send_message_ilp", "app-send-ilp",
+                       "audit payload failed to round-trip through the fused "
+                       "send path; the audit result is not trustworthy"});
+    }
+    if (!recv.round_trip_ok) {
+        out.push_back({analysis::severity::error, "A0-audit-fixture",
+                       "src/app/receive_path.h:receive_reply_ilp",
+                       "app-recv-reply-ilp",
+                       "audit payload failed to round-trip through the fused "
+                       "receive path; the audit result is not trustworthy"});
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false;
+    bool list = false;
+    bool audit = false;
+    std::size_t sweep_bytes = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--audit") {
+            audit = true;
+        } else if (arg.rfind("--sweep=", 0) == 0) {
+            sweep_bytes = static_cast<std::size_t>(
+                std::strtoull(arg.c_str() + 8, nullptr, 10));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: ilp-lint [--json] [--list] [--audit] "
+                        "[--sweep=BYTES]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "ilp-lint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    analysis::pipeline_registry registry;
+    register_builtin_pipelines(registry);
+
+    if (list) {
+        print_inventory(registry);
+        return 0;
+    }
+
+    std::vector<analysis::finding> findings = registry.check_all();
+    if (sweep_bytes > 0) {
+        std::vector<analysis::finding> swept =
+            sweep_plans(registry, sweep_bytes);
+        findings.insert(findings.end(), swept.begin(), swept.end());
+    }
+    if (audit) {
+        std::vector<analysis::finding> audited = run_audits();
+        findings.insert(findings.end(), audited.begin(), audited.end());
+    }
+
+    std::size_t errors = 0;
+    if (json) {
+        const std::string doc = render_json(registry.models(), findings);
+        std::fputs(doc.c_str(), stdout);
+        std::fputc('\n', stdout);
+        for (const analysis::finding& f : findings) {
+            if (f.sev == analysis::severity::error) ++errors;
+        }
+    } else {
+        errors = analysis::print_report(stdout, findings);
+    }
+    return errors == 0 ? 0 : 1;
+}
