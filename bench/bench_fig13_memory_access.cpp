@@ -14,6 +14,8 @@
 #include "crypto/safer_simplified.h"
 #include "crypto/simple_cipher.h"
 #include "memsim/configs.h"
+#include "obs/export_text.h"
+#include "obs/tracer.h"
 #include "platform/estimator.h"
 #include "stats/table.h"
 
@@ -28,7 +30,7 @@ struct run_stats {
 };
 
 template <typename Cipher>
-run_stats run(app::path_mode mode) {
+run_stats run(app::path_mode mode, obs::tracer* tracer = nullptr) {
     app::transfer_config config;
     config.file_bytes = 15 * 1024;
     config.copies = 730;  // ~10.7 MB, as in the paper
@@ -37,8 +39,10 @@ run_stats run(app::path_mode mode) {
     config.deadline_us = 3'600'000'000ull;
     memsim::memory_system client(memsim::supersparc_with_l2());
     memsim::memory_system server(memsim::supersparc_with_l2());
+    obs::tracer* prev = obs::tracer::install(tracer);
     const auto result =
         app::run_transfer_simulated<Cipher>(config, client, server);
+    obs::tracer::install(prev);
     return {server.data_stats(), client.data_stats(),
             result.completed && result.verified};
 }
@@ -52,9 +56,12 @@ int main() {
                 "(millions) ===\n");
     std::printf("running 4 instrumented transfers of 10.7 MB each...\n\n");
 
-    const run_stats safer_ilp = run<crypto::safer_simplified>(app::path_mode::ilp);
+    obs::tracer ilp_tracer;
+    obs::tracer lay_tracer;
+    const run_stats safer_ilp =
+        run<crypto::safer_simplified>(app::path_mode::ilp, &ilp_tracer);
     const run_stats safer_lay =
-        run<crypto::safer_simplified>(app::path_mode::layered);
+        run<crypto::safer_simplified>(app::path_mode::layered, &lay_tracer);
     const run_stats simple_ilp = run<crypto::simple_cipher>(app::path_mode::ilp);
     const run_stats simple_lay =
         run<crypto::simple_cipher>(app::path_mode::layered);
@@ -117,6 +124,12 @@ int main() {
                             safer_ilp.send.reads.total_bytes() -
                             safer_ilp.send.writes.total_bytes()) /
         (1024.0 * 1024.0);
+    std::printf("\nPer-stage access attribution, simplified SAFER, ILP:\n%s",
+                obs::stage_summary(ilp_tracer).c_str());
+    std::printf("\nPer-stage access attribution, simplified SAFER, non-ILP:"
+                "\n%s",
+                obs::stage_summary(lay_tracer).c_str());
+
     std::printf("\nsend side moves %.0f MB less under ILP (paper: 55 MB read"
                 " + 48 MB written less; our 64-bit-path model moves fewer,"
                 " wider accesses, so the byte delta is the comparable"

@@ -12,6 +12,8 @@
 #include "crypto/safer_simplified.h"
 #include "crypto/simple_cipher.h"
 #include "memsim/configs.h"
+#include "obs/export_text.h"
+#include "obs/tracer.h"
 #include "stats/table.h"
 
 namespace {
@@ -25,7 +27,7 @@ struct run_stats {
 };
 
 template <typename Cipher>
-run_stats run(app::path_mode mode) {
+run_stats run(app::path_mode mode, obs::tracer* tracer = nullptr) {
     app::transfer_config config;
     config.file_bytes = 15 * 1024;
     config.copies = 730;  // ~10.7 MB
@@ -34,8 +36,10 @@ run_stats run(app::path_mode mode) {
     config.deadline_us = 3'600'000'000ull;
     memsim::memory_system client(memsim::supersparc_with_l2());
     memsim::memory_system server(memsim::supersparc_with_l2());
+    obs::tracer* prev = obs::tracer::install(tracer);
     const auto result =
         app::run_transfer_simulated<Cipher>(config, client, server);
+    obs::tracer::install(prev);
     return {server.data_stats(), client.data_stats(),
             result.completed && result.verified};
 }
@@ -49,9 +53,12 @@ int main() {
                 "===\n");
     std::printf("running 4 instrumented transfers of 10.7 MB each...\n\n");
 
-    const run_stats safer_ilp = run<crypto::safer_simplified>(app::path_mode::ilp);
+    obs::tracer ilp_tracer;
+    obs::tracer lay_tracer;
+    const run_stats safer_ilp =
+        run<crypto::safer_simplified>(app::path_mode::ilp, &ilp_tracer);
     const run_stats safer_lay =
-        run<crypto::safer_simplified>(app::path_mode::layered);
+        run<crypto::safer_simplified>(app::path_mode::layered, &lay_tracer);
     const run_stats simple_ilp = run<crypto::simple_cipher>(app::path_mode::ilp);
     const run_stats simple_lay =
         run<crypto::simple_cipher>(app::path_mode::layered);
@@ -81,6 +88,11 @@ int main() {
     add("simple", "recv", "ILP", simple_ilp.recv);
     add("simple", "recv", "non-ILP", simple_lay.recv);
     table.print();
+
+    std::printf("\nPer-stage miss attribution, simplified SAFER, ILP:\n%s",
+                obs::stage_summary(ilp_tracer).c_str());
+    std::printf("\nPer-stage miss attribution, simplified SAFER, non-ILP:\n%s",
+                obs::stage_summary(lay_tracer).c_str());
 
     std::printf("\nHeadline comparisons with the paper:\n");
     std::printf("  recv miss ratio, simplified SAFER: non-ILP %.1f%% -> ILP"

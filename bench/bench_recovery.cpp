@@ -1,17 +1,32 @@
 // Goodput and recovery-cost baseline across loss regimes, ILP vs layered.
 //
 // Three reply-link regimes with fixed seeds — clean, 1 % Bernoulli loss and
-// Gilbert–Elliott bursty loss — each run on both data paths.  Prints one
-// JSON document (recorded as BENCH_recovery.json at the repo root) so later
-// changes to the retry/retransmission machinery can be diffed against it.
+// Gilbert–Elliott bursty loss — each run on both data paths.  Emits the
+// versioned BENCH JSON schema (recorded as BENCH_recovery.json at the repo
+// root) so `ilp-trace --diff` can gate later changes to the retry and
+// retransmission machinery.  `--json=PATH` additionally writes the report
+// to a file.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "app/harness.h"
 #include "crypto/safer_simplified.h"
+#include "obs/bench_json.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace ilp;
+
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            std::fprintf(stderr, "usage: bench_recovery [--json=PATH]\n");
+            return 2;
+        }
+    }
 
     struct regime {
         const char* name;
@@ -34,10 +49,11 @@ int main() {
          }},
     };
 
-    std::printf("{\n  \"benchmark\": \"recovery\",\n");
-    std::printf("  \"file_kb\": 128, \"packet_bytes\": 1024,\n");
-    std::printf("  \"results\": [\n");
-    bool first = true;
+    obs::bench_report report("recovery");
+    report.meta("file_kb", "128");
+    report.meta("packet_bytes", "1024");
+    report.meta("cipher", "safer_simplified");
+
     for (const regime& r : regimes) {
         for (const app::path_mode mode :
              {app::path_mode::ilp, app::path_mode::layered}) {
@@ -50,36 +66,54 @@ int main() {
             const app::transfer_result result =
                 app::run_transfer_native<crypto::safer_simplified>(config);
 
-            if (!first) std::printf(",\n");
-            first = false;
-            std::printf(
-                "    {\"regime\": \"%s\", \"path\": \"%s\", "
-                "\"completed\": %s, \"verified\": %s, "
-                "\"goodput_mbps\": %.2f, \"elapsed_ms\": %.2f, "
-                "\"segments\": %llu, \"retransmissions\": %llu, "
-                "\"packets_dropped\": %llu, \"burst_dropped\": %llu, "
-                "\"rpc_retries\": %llu, \"connection_resets\": %llu, "
-                "\"rsts_sent\": %llu, \"refetched_bytes\": %llu}",
-                r.name, mode == app::path_mode::ilp ? "ilp" : "layered",
-                result.completed ? "true" : "false",
-                result.verified ? "true" : "false", result.throughput_mbps(),
-                static_cast<double>(result.elapsed_us) / 1000.0,
-                static_cast<unsigned long long>(
-                    result.reply_tcp_sender.segments_transmitted),
-                static_cast<unsigned long long>(
-                    result.reply_tcp_sender.retransmissions),
-                static_cast<unsigned long long>(
-                    result.reply_pipe.packets_dropped),
-                static_cast<unsigned long long>(
-                    result.reply_pipe.packets_burst_dropped),
-                static_cast<unsigned long long>(result.recovery.rpc_retries),
-                static_cast<unsigned long long>(
-                    result.recovery.connection_resets),
-                static_cast<unsigned long long>(result.recovery.rsts_sent),
-                static_cast<unsigned long long>(
-                    result.recovery.refetched_bytes));
+            const std::string key =
+                std::string(r.name) + "." +
+                (mode == app::path_mode::ilp ? "ilp" : "layered");
+            const auto count = [&](const char* name, std::uint64_t v,
+                                   obs::direction dir) {
+                report.metric(key + "." + name, static_cast<double>(v),
+                              "count", dir);
+            };
+            report.metric(key + ".completed",
+                          result.completed && result.verified ? 1.0 : 0.0,
+                          "bool", obs::direction::higher_is_better);
+            report.metric(key + ".goodput_mbps", result.throughput_mbps(),
+                          "mbps", obs::direction::higher_is_better);
+            report.metric(key + ".elapsed_ms",
+                          static_cast<double>(result.elapsed_us) / 1000.0,
+                          "ms", obs::direction::lower_is_better);
+            count("segments", result.reply_tcp_sender.segments_transmitted,
+                  obs::direction::info);
+            count("retransmissions", result.reply_tcp_sender.retransmissions,
+                  obs::direction::lower_is_better);
+            count("packets_dropped", result.reply_pipe.packets_dropped,
+                  obs::direction::info);
+            count("burst_dropped", result.reply_pipe.packets_burst_dropped,
+                  obs::direction::info);
+            count("rpc_retries", result.recovery.rpc_retries,
+                  obs::direction::lower_is_better);
+            count("connection_resets", result.recovery.connection_resets,
+                  obs::direction::lower_is_better);
+            count("rsts_sent", result.recovery.rsts_sent,
+                  obs::direction::info);
+            count("refetched_bytes", result.recovery.refetched_bytes,
+                  obs::direction::lower_is_better);
+            if (const obs::histogram* gap =
+                    result.metrics.find_hist("client.reply_gap_us")) {
+                report.histogram_metric(key + ".reply_gap_us", *gap, "us");
+            }
+            if (const obs::histogram* retry =
+                    result.metrics.find_hist("client.retry_latency_us")) {
+                report.histogram_metric(key + ".retry_latency_us", *retry,
+                                        "us");
+            }
         }
     }
-    std::printf("\n  ]\n}\n");
+
+    std::fputs(report.render().c_str(), stdout);
+    if (!json_path.empty() && !report.write(json_path)) {
+        std::fprintf(stderr, "ERROR: cannot write %s\n", json_path.c_str());
+        return 1;
+    }
     return 0;
 }

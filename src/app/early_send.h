@@ -22,7 +22,7 @@
 
 #include <optional>
 
-#include "app/path_counters.h"
+#include "app/path_mode.h"
 #include "buffer/byte_buffer.h"
 #include "checksum/internet_checksum.h"
 #include "core/fused_pipeline.h"

@@ -23,10 +23,11 @@
 #include <string>
 #include <vector>
 
-#include "app/path_counters.h"
+#include "app/path_mode.h"
 #include "app/receive_path.h"
 #include "app/send_path.h"
 #include "net/datagram.h"
+#include "obs/tracer.h"
 #include "rpc/messages.h"
 #include "tcp/connection.h"
 #include "util/rng.h"
@@ -93,14 +94,22 @@ public:
           reply_tx_(mem, clock, reply_link.forward(), reply_cfg),
           workspace_(net::datagram_pipe::max_packet_bytes),
           request_staging_(net::datagram_pipe::max_packet_bytes) {
+        reply_tx_.set_attribution("server", obs_src_);
+        // Packet handlers fire from inside clock.advance() (delivery timers),
+        // outside pump()/poll() — the attribution scope must travel with
+        // them, or their memory traffic would be charged to no side.
         request_link.forward().set_receiver(
-            [this](std::span<const std::byte> p) { request_rx_.on_packet(p); });
+            [this](std::span<const std::byte> p) {
+                ILP_OBS_ATTR("server", obs_src_);
+                request_rx_.on_packet(p);
+            });
         // The client's request sender RSTs when it gives up; rewind to the
         // agreed initial sequence so its re-established sender lines up.
         request_rx_.set_failure_handler(
             [this] { request_rx_.reset(request_isn_); });
         reply_link.reverse().set_receiver(
             [this](std::span<const std::byte> p) {
+                ILP_OBS_ATTR("server", obs_src_);
                 reply_tx_.on_ack_packet(p);
                 pump();  // freed window: continue segmenting
             });
@@ -115,6 +124,7 @@ public:
     // Makes forward progress on pending reply streams; idempotent, called
     // from the run loop and from the ACK handler.
     void pump() {
+        ILP_OBS_ATTR("server", obs_src_);
         if (reply_tx_.failed()) {
             // The reply stream is dead (RST already went out).  Park: the
             // client re-requests what it is missing, which resets the
@@ -165,6 +175,7 @@ private:
     };
 
     void on_request(std::size_t wire_len) {
+        ILP_OBS_SPAN("app", "serve_request");
         const auto request =
             rpc::unmarshal_request(request_staging_.subspan(0, wire_len));
         if (!request.has_value() || request->copy_count == 0 ||
@@ -234,6 +245,7 @@ private:
     // buffer/window space (retry later) or the job just finished.
     bool send_next_reply(reply_job& job) {
         if (job.finished) return true;
+        ILP_OBS_SPAN("app", "reply_segment");
         const std::size_t remaining = job.file->size() - job.offset;
         const std::size_t payload_len = std::min<std::size_t>(
             remaining, job.request.max_reply_payload);
@@ -264,6 +276,7 @@ private:
     }
 
     Mem mem_;
+    const memsim::memory_system* obs_src_ = obs::attribution_source(mem_);
     const Cipher* cipher_;
     path_mode mode_;
     const file_store* store_;
@@ -301,12 +314,17 @@ public:
           request_tx_(mem, clock, request_link.forward(), request_cfg),
           reply_rx_(mem, clock, reply_link.reverse(), reply_cfg),
           workspace_(net::datagram_pipe::max_packet_bytes) {
+        request_tx_.set_attribution("client", obs_src_);
         request_link.reverse().set_receiver(
             [this](std::span<const std::byte> p) {
+                ILP_OBS_ATTR("client", obs_src_);
                 request_tx_.on_ack_packet(p);
             });
         reply_link.forward().set_receiver(
-            [this](std::span<const std::byte> p) { reply_rx_.on_packet(p); });
+            [this](std::span<const std::byte> p) {
+                ILP_OBS_ATTR("client", obs_src_);
+                reply_rx_.on_packet(p);
+            });
         reply_rx_.set_processor([this](std::span<std::byte> payload) {
             return process_reply(payload);
         });
@@ -317,6 +335,8 @@ public:
     // The reply_isn field is overwritten: the first attempt always runs on
     // the reply connection's configured sequence state.
     bool request_file(const rpc::file_request& request) {
+        ILP_OBS_ATTR("client", obs_src_);
+        ILP_OBS_SPAN("rpc", "request");
         rpc::file_request r = request;
         r.reply_isn = reply_rx_.expected_seq();
         if (!issue_request(r)) return false;
@@ -339,6 +359,7 @@ public:
     // response timeout, after an exponential backoff, until max_attempts.
     void poll() {
         if (!state_.active || recovery_.gave_up || done()) return;
+        ILP_OBS_ATTR("client", obs_src_);
         const sim_time now = clock_->now();
         if (retry_at_ != 0) {  // backoff in progress
             if (now < retry_at_) return;
@@ -411,6 +432,11 @@ public:
         return request_tx_.stats();
     }
 
+    // Client-local metrics: reply inter-arrival gaps and retry latencies
+    // (virtual us), plus commit/retry counters.  The harness merges this
+    // into the transfer-wide registry.
+    const obs::registry& metrics() const noexcept { return metrics_; }
+
 private:
     struct transfer_state {
         rpc::file_request request;
@@ -480,7 +506,11 @@ private:
         pending_valid_ = false;
         const rpc::reply_header& h = pending_header_;
         std::size_t& got = state_.received[h.copy_index];
-        if (h.offset > got) return;  // gap: not contiguous, cannot commit
+        if (h.offset > got) {
+            // Gap: not contiguous, cannot commit.
+            metrics_.add("client.replies_gapped");
+            return;
+        }
         const std::size_t end = h.offset + pending_payload_bytes_;
         if (end > got) {
             recovery_.refetched_bytes += got - h.offset;
@@ -489,6 +519,9 @@ private:
             recovery_.refetched_bytes += pending_payload_bytes_;
         }
         if (end >= state_.total) ++state_.completed_replies[h.copy_index];
+        metrics_.add("client.replies_committed");
+        metrics_.hist("client.reply_gap_us")
+            .record(clock_->now() - last_progress_us_);
         last_progress_us_ = clock_->now();
     }
 
@@ -531,8 +564,15 @@ private:
     }
 
     void perform_retry() {
+        ILP_OBS_SPAN("rpc", "retry");
+        ILP_OBS_INSTANT("rpc", "retry_fired");
         ++attempt_;
         ++recovery_.retries;
+        metrics_.add("client.retries");
+        // Latency of the failure detection itself: virtual time from the
+        // last committed progress to this retry firing.
+        metrics_.hist("client.retry_latency_us")
+            .record(clock_->now() - last_progress_us_);
         if (request_tx_.failed()) {
             // The sender already emitted its RST; the server rewinds its
             // request receiver to the same agreed initial sequence.
@@ -557,6 +597,7 @@ private:
     }
 
     Mem mem_;
+    const memsim::memory_system* obs_src_ = obs::attribution_source(mem_);
     const Cipher* cipher_;
     path_mode mode_;
     virtual_clock* clock_;
@@ -575,6 +616,7 @@ private:
     bool pending_valid_ = false;
     path_counters tx_counters_;
     path_counters rx_counters_;
+    obs::registry metrics_;
 };
 
 }  // namespace ilp::app

@@ -12,6 +12,8 @@
 
 #include "app/file_transfer.h"
 #include "memsim/memory_system.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace ilp::app {
 
@@ -40,7 +42,9 @@ struct transfer_config {
 };
 
 // End-to-end recovery accounting for one transfer, aggregated across both
-// endpoints and both connections.
+// endpoints and both connections.  This is a *view* over the metrics
+// registry (see recovery_from): the registry is the source of truth, the
+// struct keeps the established field spellings for tests and benches.
 struct recovery_report {
     std::uint64_t rpc_retries = 0;         // request re-issues by the client
     std::uint64_t connection_resets = 0;   // endpoint reset() calls, all four
@@ -52,10 +56,26 @@ struct recovery_report {
     bool gave_up = false;  // explicit failure: retry budget exhausted
 };
 
+inline recovery_report recovery_from(const obs::registry& m) {
+    recovery_report r;
+    r.rpc_retries = m.counter("recovery.rpc_retries");
+    r.connection_resets = m.counter("recovery.connection_resets");
+    r.rsts_sent = m.counter("recovery.rsts_sent");
+    r.rsts_received = m.counter("recovery.rsts_received");
+    r.requests_deduplicated = m.counter("recovery.requests_deduplicated");
+    r.jobs_abandoned = m.counter("recovery.jobs_abandoned");
+    r.refetched_bytes = m.counter("recovery.refetched_bytes");
+    r.gave_up = m.counter("recovery.gave_up") != 0;
+    return r;
+}
+
 struct transfer_result {
     bool completed = false;
     bool verified = false;  // received copies byte-identical to the file
     recovery_report recovery;
+    // Every quantity the harness measures, under dotted names (recovery.*,
+    // server.send.*, client.receive.*, client.* histograms, transfer.*).
+    obs::registry metrics;
     sim_time elapsed_us = 0;
     std::uint64_t payload_bytes_delivered = 0;
     std::uint64_t reply_messages = 0;
@@ -83,6 +103,8 @@ transfer_result run_transfer(const transfer_config& config,
                              const Cipher& client_cipher,
                              const Cipher& server_cipher) {
     virtual_clock clock;
+    // An installed tracer timestamps this run's spans on this run's clock.
+    if (obs::tracer* t = obs::tracer::current()) t->set_clock(&clock);
     net::duplex_link request_link(clock, config.link_latency_us,
                                   config.request_forward_faults,
                                   config.request_reverse_faults);
@@ -137,23 +159,33 @@ transfer_result run_transfer(const transfer_config& config,
     result.completed = client.done();
     result.elapsed_us = clock.now() - start;
 
+    // Aggregation across endpoints and connections is repeated add() into
+    // one registry; the recovery_report below is just a view over it.
+    obs::registry& m = result.metrics;
     const client_recovery_stats& cr = client.recovery();
-    result.recovery.rpc_retries = cr.retries;
-    result.recovery.gave_up = cr.gave_up;
-    result.recovery.connection_resets =
-        cr.connection_resets + server.reply_tcp_stats().resets +
-        server.request_tcp_stats().resets;
-    result.recovery.rsts_sent = server.reply_tcp_stats().rsts_sent +
-                                client.request_tcp_stats().rsts_sent;
-    result.recovery.rsts_received = client.reply_tcp_stats().rsts_received +
-                                    server.request_tcp_stats().rsts_received;
-    result.recovery.requests_deduplicated = server.requests_deduplicated();
-    result.recovery.jobs_abandoned = server.jobs_abandoned();
+    m.add("recovery.rpc_retries", cr.retries);
+    if (cr.gave_up) m.add("recovery.gave_up");
+    m.add("recovery.connection_resets", cr.connection_resets);
+    m.add("recovery.connection_resets", server.reply_tcp_stats().resets);
+    m.add("recovery.connection_resets", server.request_tcp_stats().resets);
+    m.add("recovery.rsts_sent", server.reply_tcp_stats().rsts_sent);
+    m.add("recovery.rsts_sent", client.request_tcp_stats().rsts_sent);
+    m.add("recovery.rsts_received", client.reply_tcp_stats().rsts_received);
+    m.add("recovery.rsts_received", server.request_tcp_stats().rsts_received);
+    m.add("recovery.requests_deduplicated", server.requests_deduplicated());
+    m.add("recovery.jobs_abandoned", server.jobs_abandoned());
     const std::uint64_t served = server.send_counters().payload_bytes;
-    result.recovery.refetched_bytes =
-        cr.refetched_bytes +
-        (served > client.bytes_received() ? served - client.bytes_received()
-                                          : 0);
+    m.add("recovery.refetched_bytes", cr.refetched_bytes);
+    if (served > client.bytes_received()) {
+        m.add("recovery.refetched_bytes", served - client.bytes_received());
+    }
+    obs::publish(m, "server.send", server.send_counters());
+    obs::publish(m, "client.receive", client.receive_counters());
+    m.merge(client.metrics());
+    m.add("transfer.payload_bytes", client.bytes_received());
+    m.add("transfer.elapsed_us", result.elapsed_us);
+    if (result.completed) m.add("transfer.completed");
+    result.recovery = recovery_from(m);
     result.payload_bytes_delivered = client.bytes_received();
     result.server_send = server.send_counters();
     result.client_receive = client.receive_counters();

@@ -1,0 +1,25 @@
+// Path selection plus per-side accounting of what the data paths did.
+//
+// The counters themselves live in obs::path_counters so the observability
+// layer (obs::registry, the recovery/bench reports) can publish them without
+// depending on the app layer; the alias below keeps the historical
+// `app::path_counters` spelling used throughout the data paths.  The
+// platform timing models (src/platform) convert these counters plus the
+// simulated memory-system cycles into per-packet processing times, and the
+// figure benches report them directly (e.g. Fig. 13's access counts come
+// from the memory simulator, while the pass structure recorded here explains
+// them).
+#pragma once
+
+#include "obs/path_counters.h"
+
+namespace ilp::app {
+
+enum class path_mode {
+    ilp,      // fused loop (marshal+encrypt+checksum in the copy)
+    layered,  // one pass per protocol function (conventional implementation)
+};
+
+using path_counters = obs::path_counters;
+
+}  // namespace ilp::app

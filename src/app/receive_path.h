@@ -22,12 +22,13 @@
 #include <cstdint>
 #include <span>
 
-#include "app/path_counters.h"
+#include "app/path_mode.h"
 #include "checksum/internet_checksum.h"
 #include "core/fused_pipeline.h"
 #include "core/layered_path.h"
 #include "core/stage.h"
 #include "crypto/block_cipher.h"
+#include "obs/tracer.h"
 #include "rpc/messages.h"
 #include "tcp/connection.h"
 
@@ -94,6 +95,7 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
                                          path_counters& counters) {
     const std::size_t n = wire.size();
     counters.wire_bytes += n;
+    ILP_OBS_SPAN("app", "receive_ilp");
     checksum::inet_accumulator acc;
     if (n < rpc::reply_payload_offset + 4 ||
         n % core::encryption_unit_bytes != 0) {
@@ -113,6 +115,7 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
     // Phase 1: decrypt the header region to learn the message geometry.
     detail::reply_header_staging staging;
     {
+        ILP_OBS_SPAN("app", "receive_header_phase");
         core::scatter_dest dst;
         dst.add(staging.bytes(), core::segment_op::xdr_words);
         loop.run(mem, core::span_source(wire.first(detail::reply_header_region)),
@@ -141,6 +144,7 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
     // application's buffer) and the discarded padding.
     std::uint32_t opaque_len = 0;
     {
+        ILP_OBS_SPAN("app", "receive_body_phase");
         core::scatter_dest dst;
         dst.add({reinterpret_cast<std::byte*>(&opaque_len), 4},
                 core::segment_op::xdr_words);
@@ -171,10 +175,14 @@ tcp::rx_process_result receive_reply_layered(const Mem& mem,
                                              path_counters& counters) {
     const std::size_t n = wire.size();
     counters.wire_bytes += n;
+    ILP_OBS_SPAN("app", "receive_layered");
     checksum::inet_accumulator acc;
 
     // Pass 1: checksum over the ciphertext.
-    core::checksum_pass(mem, acc, wire, 8);
+    {
+        ILP_OBS_SPAN("app", "checksum_pass");
+        core::checksum_pass(mem, acc, wire, 8);
+    }
     counters.checksum_pass_bytes += n;
     if (n < rpc::reply_payload_offset + 4 ||
         n % core::encryption_unit_bytes != 0) {
@@ -182,14 +190,18 @@ tcp::rx_process_result receive_reply_layered(const Mem& mem,
     }
 
     // Pass 2: decrypt in place.
-    core::decrypt_stage<Cipher> dec(cipher);
-    core::apply_stage_in_place(mem, dec, wire);
+    {
+        ILP_OBS_SPAN("app", "cipher_pass");
+        core::decrypt_stage<Cipher> dec(cipher);
+        core::apply_stage_in_place(mem, dec, wire);
+    }
     counters.cipher_pass_bytes += n;
     counters.cipher_bytes += n;
 
     // Pass 3: unmarshal + copy.  Headers first...
     detail::reply_header_staging staging;
     {
+        ILP_OBS_SPAN("app", "unmarshal_pass");
         core::scatter_dest dst;
         dst.add(staging.bytes(), core::segment_op::xdr_words);
         core::unmarshal_from_buffer(
@@ -212,6 +224,7 @@ tcp::rx_process_result receive_reply_layered(const Mem& mem,
     // ...then the body.
     std::uint32_t opaque_len = 0;
     {
+        ILP_OBS_SPAN("app", "unmarshal_pass");
         core::scatter_dest dst;
         dst.add({reinterpret_cast<std::byte*>(&opaque_len), 4},
                 core::segment_op::xdr_words);
@@ -244,6 +257,7 @@ tcp::rx_process_result receive_request(path_mode mode, const Mem& mem,
                                        path_counters& counters) {
     const std::size_t n = wire.size();
     counters.wire_bytes += n;
+    ILP_OBS_SPAN("app", "receive_request");
     checksum::inet_accumulator acc;
     if (n % core::encryption_unit_bytes != 0 || n > staging.size()) {
         return detail::fail_with_remainder(mem, acc, wire, 0, counters);

@@ -19,7 +19,7 @@
 
 #include <optional>
 
-#include "app/path_counters.h"
+#include "app/path_mode.h"
 #include "buffer/byte_buffer.h"
 #include "checksum/internet_checksum.h"
 #include "core/fused_pipeline.h"
@@ -27,6 +27,7 @@
 #include "core/message_plan.h"
 #include "core/stage.h"
 #include "crypto/block_cipher.h"
+#include "obs/tracer.h"
 #include "tcp/connection.h"
 
 namespace ilp::app {
@@ -60,6 +61,7 @@ bool send_message_ilp(tcp::tcp_sender<Mem>& sender, const Mem& mem,
                       path_counters& counters) {
     const std::size_t wire_bytes = plan.total_bytes;
     ILP_EXPECT(src.total_size() == wire_bytes);
+    ILP_OBS_SPAN("app", "send_ilp");
     const bool sent = sender.send_message(
         wire_bytes, [&](const ring_span& dst) -> std::optional<std::uint16_t> {
             checksum::inet_accumulator acc;
@@ -76,6 +78,7 @@ bool send_message_ilp(tcp::tcp_sender<Mem>& sender, const Mem& mem,
             const core::scatter_dest ring = core::ring_dest(dst);
             for (const core::message_part& part : plan.ilp_order()) {
                 if (part.empty()) continue;
+                ILP_OBS_SPAN("core", "fused_part");
                 loop.run(mem, src.slice(part.offset, part.len),
                          ring.slice(part.offset, part.len));
             }
@@ -104,14 +107,21 @@ bool send_message_layered(tcp::tcp_sender<Mem>& sender, const Mem& mem,
         return false;
     }
     const std::span<std::byte> staging = workspace.staging(wire_bytes);
+    ILP_OBS_SPAN("app", "send_layered");
 
     // Pass 1: marshalling (application data -> intermediate packet).
-    core::marshal_to_buffer(mem, src, staging);
+    {
+        ILP_OBS_SPAN("app", "marshal_pass");
+        core::marshal_to_buffer(mem, src, staging);
+    }
     counters.marshal_pass_bytes += wire_bytes;
 
     // Pass 2: encryption, in place.
-    core::encrypt_stage<Cipher> encrypt(cipher);
-    core::apply_stage_in_place(mem, encrypt, staging);
+    {
+        ILP_OBS_SPAN("app", "cipher_pass");
+        core::encrypt_stage<Cipher> encrypt(cipher);
+        core::apply_stage_in_place(mem, encrypt, staging);
+    }
     counters.cipher_pass_bytes += wire_bytes;
     counters.cipher_bytes += wire_bytes;
 
@@ -119,6 +129,7 @@ bool send_message_layered(tcp::tcp_sender<Mem>& sender, const Mem& mem,
     // tcp_output because the filler returns nullopt.
     const bool sent = sender.send_message(
         wire_bytes, [&](const ring_span& dst) -> std::optional<std::uint16_t> {
+            ILP_OBS_SPAN("app", "tcp_send_copy");
             mem.copy(dst.first.data(), staging.data(), dst.first.size());
             if (!dst.second.empty()) {
                 mem.copy(dst.second.data(), staging.data() + dst.first.size(),

@@ -21,6 +21,7 @@
 #include "checksum/internet_checksum.h"
 #include "crypto/block_cipher.h"
 #include "memsim/mem_policy.h"
+#include "obs/tracer.h"
 #include "util/contracts.h"
 #include "util/endian.h"
 
@@ -79,6 +80,7 @@ template <memsim::memory_policy Mem>
 void feed_words(const Mem& mem, word_filter<Mem>& first,
                 std::span<const std::byte> data) {
     ILP_EXPECT(data.size() % 4 == 0);
+    ILP_OBS_SPAN("core", "word_loop");
     for (std::size_t i = 0; i < data.size(); i += 4) {
         first.put(mem, {mem.load_u32(data.data() + i), 0, 1});
         }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/tracer.h"
+
 namespace ilp::net {
 
 datagram_pipe::datagram_pipe(virtual_clock& clock, sim_time latency_us,
@@ -25,6 +27,7 @@ bool datagram_pipe::lose_packet() {
         if (now >= w.start_us && now < w.end_us) {
             ++stats_.packets_dropped;
             ++stats_.packets_outage_dropped;
+            ILP_OBS_INSTANT("net", "drop_outage");
             return true;
         }
     }
@@ -37,17 +40,20 @@ bool datagram_pipe::lose_packet() {
         if (rng_.next_bool(loss)) {
             ++stats_.packets_dropped;
             if (burst_bad_) ++stats_.packets_burst_dropped;
+            ILP_OBS_INSTANT("net", "drop_burst");
             return true;
         }
     }
     if (rng_.next_bool(faults_.drop_probability)) {
         ++stats_.packets_dropped;
+        ILP_OBS_INSTANT("net", "drop_random");
         return true;
     }
     return false;
 }
 
 void datagram_pipe::enqueue(std::size_t bytes) {
+    ILP_OBS_SPAN("net", "enqueue");
     ++stats_.packets_sent;
     ++stats_.send_crossings;
     stats_.bytes_sent += bytes;
@@ -63,12 +69,14 @@ void datagram_pipe::enqueue(std::size_t bytes) {
             queue_.size() >= faults_.max_queue_packets) {
             ++stats_.packets_dropped;
             ++stats_.packets_queue_dropped;
+            ILP_OBS_INSTANT("net", "drop_queue");
             continue;
         }
         in_flight_packet pkt;
         pkt.data.assign(kernel_staging_.data(), kernel_staging_.data() + bytes);
         if (rng_.next_bool(faults_.corrupt_probability)) {
             ++stats_.packets_corrupted;
+            ILP_OBS_INSTANT("net", "corrupt");
             const std::size_t victim = rng_.next_below(pkt.data.size());
             pkt.data[victim] ^= static_cast<std::byte>(
                 1u << rng_.next_below(8));
@@ -91,6 +99,7 @@ void datagram_pipe::enqueue(std::size_t bytes) {
 }
 
 void datagram_pipe::deliver_due() {
+    ILP_OBS_SPAN("net", "deliver");
     const sim_time now = clock_->now();
     for (;;) {
         // Earliest due packet (stable order for ties: queue order).

@@ -1,0 +1,73 @@
+// Versioned BENCH JSON schema writer.
+//
+// Every benchmark that records a baseline (BENCH_*.json) emits this schema
+// so `tools/ilp-trace --diff` and CI can compare runs mechanically:
+//
+//   {
+//     "schema_version": 2,
+//     "bench": "<name>",
+//     "meta": { "<key>": "<value>", ... },
+//     "metrics": [
+//       {"name": "...", "value": 1.25, "unit": "mbps", "better": "higher"},
+//       ...
+//     ],
+//     "histograms": [
+//       {"name": "...", "unit": "us", "count": N, "min": .., "max": ..,
+//        "mean": .., "p50": .., "p90": .., "p99": ..,
+//        "buckets": [[lo, hi, count], ...]},   // non-empty buckets only
+//       ...
+//     ]
+//   }
+//
+// "better" drives the regression verdict: "higher"/"lower" metrics fail a
+// diff beyond the threshold in the bad direction, "info" metrics are
+// reported but never fail.  Histograms additionally surface their p99 as a
+// "<name>.p99" lower-is-better metric so latency regressions gate too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace ilp::obs {
+
+enum class direction { higher_is_better, lower_is_better, info };
+
+inline constexpr int bench_schema_version = 2;
+
+class bench_report {
+public:
+    explicit bench_report(std::string bench_name);
+
+    void meta(std::string key, std::string value);
+    void metric(std::string name, double value, std::string unit,
+                direction dir);
+    // Records the histogram (buckets + percentiles) and a "<name>.p99"
+    // lower-is-better gating metric.
+    void histogram_metric(std::string name, const histogram& h,
+                          std::string unit);
+
+    std::string render() const;
+    bool write(const std::string& path) const;  // false on I/O failure
+
+private:
+    struct metric_row {
+        std::string name;
+        double value;
+        std::string unit;
+        direction dir;
+    };
+    struct hist_row {
+        std::string name;
+        std::string unit;
+        histogram hist;
+    };
+
+    std::string bench_;
+    std::vector<std::pair<std::string, std::string>> meta_;
+    std::vector<metric_row> metrics_;
+    std::vector<hist_row> histograms_;
+};
+
+}  // namespace ilp::obs

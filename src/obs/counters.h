@@ -1,0 +1,64 @@
+// Memory-system counter snapshots for span attribution.
+//
+// A span records the delta of these counters between its open and close, so
+// the Figure 13/14 quantities (accesses, L1-D misses, L2 misses, simulated
+// memory-system cycles) become attributable to an individual pipeline stage
+// instead of only to a whole run.
+#pragma once
+
+#include <cstdint>
+
+namespace ilp::memsim {
+class memory_system;
+}
+
+namespace ilp::obs {
+
+// One snapshot (or delta) of a memsim::memory_system's counters.  All fields
+// are monotone over a run, so deltas are exact.
+struct mem_counters {
+    std::uint64_t reads = 0;          // data reads (load instructions)
+    std::uint64_t writes = 0;         // data writes (store instructions)
+    std::uint64_t l1d_misses = 0;     // Figure 14's quantity
+    std::uint64_t l2_hits = 0;        // unified L2 (data + instruction side)
+    std::uint64_t l2_misses = 0;
+    std::uint64_t ifetches = 0;
+    std::uint64_t ifetch_misses = 0;
+    std::uint64_t cycles = 0;         // accumulated memory-system time
+
+    std::uint64_t accesses() const noexcept { return reads + writes; }
+
+    mem_counters& operator+=(const mem_counters& o) noexcept {
+        reads += o.reads;
+        writes += o.writes;
+        l1d_misses += o.l1d_misses;
+        l2_hits += o.l2_hits;
+        l2_misses += o.l2_misses;
+        ifetches += o.ifetches;
+        ifetch_misses += o.ifetch_misses;
+        cycles += o.cycles;
+        return *this;
+    }
+    mem_counters& operator-=(const mem_counters& o) noexcept {
+        reads -= o.reads;
+        writes -= o.writes;
+        l1d_misses -= o.l1d_misses;
+        l2_hits -= o.l2_hits;
+        l2_misses -= o.l2_misses;
+        ifetches -= o.ifetches;
+        ifetch_misses -= o.ifetch_misses;
+        cycles -= o.cycles;
+        return *this;
+    }
+    friend mem_counters operator-(mem_counters a, const mem_counters& b) {
+        a -= b;
+        return a;
+    }
+    friend bool operator==(const mem_counters&, const mem_counters&) = default;
+};
+
+// Samples the current counters of a memory system (implemented in
+// tracer.cpp to keep this header light).
+mem_counters sample_counters(const memsim::memory_system& sys);
+
+}  // namespace ilp::obs

@@ -1,0 +1,35 @@
+// Chrome trace_event exporter.
+//
+// Renders the tracer's event ring as the Trace Event JSON Array Format
+// ({"traceEvents": [...]}), loadable in Perfetto / chrome://tracing.  Spans
+// become complete ("ph":"X") events, instants become "i" events; each
+// attribution side maps to its own tid with a thread_name metadata record.
+// Memory attribution travels in "args" (inclusive and self counters), so a
+// Perfetto query can attribute cache misses by stage.
+//
+// Timebase: virtual microseconds by default.  Simulated runs advance the
+// clock only between poll steps, so for intra-step structure the exporter
+// can instead place spans on each side's memory-system *cycle* counter,
+// which is the quantity the paper's processing times derive from anyway.
+#pragma once
+
+#include <string>
+
+#include "obs/tracer.h"
+
+namespace ilp::obs {
+
+enum class trace_timebase {
+    sim_us,  // virtual-clock microseconds
+    cycles,  // attributed memory-system cycles (unattributed spans fall
+             // back to virtual time)
+};
+
+std::string chrome_trace_json(const tracer& t,
+                              trace_timebase timebase = trace_timebase::sim_us);
+
+// Writes chrome_trace_json() to `path`; returns false on I/O failure.
+bool write_chrome_trace(const tracer& t, const std::string& path,
+                        trace_timebase timebase = trace_timebase::sim_us);
+
+}  // namespace ilp::obs

@@ -1,0 +1,40 @@
+#include "obs/export_text.h"
+
+#include <cstdio>
+
+namespace ilp::obs {
+
+stats::table stage_table(const tracer& t) {
+    stats::table table({"side", "stage", "count", "self us", "accesses",
+                        "reads", "writes", "l1d miss", "l2 miss", "cycles",
+                        "p99 cyc"});
+    for (const auto& [key, totals] : t.stages()) {
+        table.row()
+            .cell(key.side.empty() ? "-" : key.side)
+            .cell(key.category + "/" + key.name)
+            .cell(totals.count)
+            .cell(totals.self_us)
+            .cell(totals.self.accesses())
+            .cell(totals.self.reads)
+            .cell(totals.self.writes)
+            .cell(totals.self.l1d_misses)
+            .cell(totals.self.l2_misses)
+            .cell(totals.self.cycles)
+            .cell(totals.self_cycles.percentile(99.0), 0);
+    }
+    return table;
+}
+
+std::string stage_summary(const tracer& t) {
+    std::string out = stage_table(t).render();
+    if (t.dropped() > 0) {
+        char note[96];
+        std::snprintf(note, sizeof note,
+                      "(ring wrapped: %llu events overwritten)\n",
+                      static_cast<unsigned long long>(t.dropped()));
+        out += note;
+    }
+    return out;
+}
+
+}  // namespace ilp::obs

@@ -1,0 +1,23 @@
+// Fixed-width per-stage breakdown of a trace.
+//
+// Aggregates the tracer's per-stage totals into a stats::table: span count,
+// self virtual time, self memory accesses / L1-D misses / L2 misses /
+// memory-system cycles, and the p99 of per-span self cycles.  This is the
+// Fig. 13/14-style breakdown *per stage*: summing the self columns of one
+// side reproduces that side's memory_system run totals.
+#pragma once
+
+#include <string>
+
+#include "obs/tracer.h"
+#include "stats/table.h"
+
+namespace ilp::obs {
+
+// One row per (side, category, name) stage, sides grouped together.
+stats::table stage_table(const tracer& t);
+
+// stage_table(t).render() plus a dropped-events note when the ring wrapped.
+std::string stage_summary(const tracer& t);
+
+}  // namespace ilp::obs

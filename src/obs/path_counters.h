@@ -5,16 +5,19 @@
 // figure benches report them directly (e.g. Fig. 13's access counts come
 // from the memory simulator, while the pass structure recorded here explains
 // them).
+//
+// The struct stays a trivially-copyable value so the hot paths can bump
+// plain integers; `publish()` lifts a snapshot into an obs::registry under
+// dotted names, which is how the harness and the BENCH exporters consume it.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 
-namespace ilp::app {
+#include "obs/registry.h"
 
-enum class path_mode {
-    ilp,      // fused loop (marshal+encrypt+checksum in the copy)
-    layered,  // one pass per protocol function (conventional implementation)
-};
+namespace ilp::obs {
 
 struct path_counters {
     std::uint64_t messages = 0;
@@ -46,4 +49,20 @@ struct path_counters {
     }
 };
 
-}  // namespace ilp::app
+// Publishes every field as "<prefix>.<field>".  Cumulative: publishing two
+// snapshots under one prefix sums them.
+inline void publish(registry& r, std::string_view prefix,
+                    const path_counters& c) {
+    const std::string p(prefix);
+    r.add(p + ".messages", c.messages);
+    r.add(p + ".payload_bytes", c.payload_bytes);
+    r.add(p + ".wire_bytes", c.wire_bytes);
+    r.add(p + ".fused_loop_bytes", c.fused_loop_bytes);
+    r.add(p + ".marshal_pass_bytes", c.marshal_pass_bytes);
+    r.add(p + ".cipher_pass_bytes", c.cipher_pass_bytes);
+    r.add(p + ".checksum_pass_bytes", c.checksum_pass_bytes);
+    r.add(p + ".copy_pass_bytes", c.copy_pass_bytes);
+    r.add(p + ".cipher_bytes", c.cipher_bytes);
+}
+
+}  // namespace ilp::obs

@@ -1,0 +1,105 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ilp::obs {
+
+namespace {
+
+std::size_t bucket_of(std::uint64_t value) noexcept {
+    // 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...; the widest values share
+    // the last bucket.
+    return std::min<std::size_t>(std::bit_width(value),
+                                 histogram::bucket_count - 1);
+}
+
+}  // namespace
+
+void histogram::record(std::uint64_t value) noexcept {
+    ++buckets_[bucket_of(value)];
+    if (count_ == 0 || value < min_) min_ = value;
+    if (value > max_) max_ = value;
+    ++count_;
+    sum_ += value;
+}
+
+double histogram::percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+        if (buckets_[i] == 0) continue;
+        const double first = static_cast<double>(seen);
+        seen += buckets_[i];
+        if (rank >= static_cast<double>(seen)) continue;
+        // Interpolate inside the bucket; clamp to the recorded extremes so
+        // single-bucket distributions report exact values.
+        const double lo = static_cast<double>(bucket_lo(i));
+        const double hi = static_cast<double>(bucket_hi(i));
+        const double frac =
+            buckets_[i] == 1
+                ? 0.0
+                : (rank - first) / static_cast<double>(buckets_[i] - 1);
+        double v = lo + frac * (hi - 1 - lo);
+        v = std::clamp(v, static_cast<double>(min()),
+                       static_cast<double>(max_));
+        return v;
+    }
+    return static_cast<double>(max_);
+}
+
+histogram& histogram::operator+=(const histogram& other) noexcept {
+    if (other.count_ == 0) return *this;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+        buckets_[i] += other.buckets_[i];
+    }
+    return *this;
+}
+
+void registry::add(std::string_view name, std::uint64_t delta) {
+    const auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        counters_.emplace(std::string(name), delta);
+    } else {
+        it->second += delta;
+    }
+}
+
+std::uint64_t registry::counter(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void registry::set_gauge(std::string_view name, double value) {
+    gauges_.insert_or_assign(std::string(name), value);
+}
+
+double registry::gauge(std::string_view name) const {
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+histogram& registry::hist(std::string_view name) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_.emplace(std::string(name), histogram{}).first->second;
+}
+
+const histogram* registry::find_hist(std::string_view name) const {
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void registry::merge(const registry& other) {
+    for (const auto& [name, value] : other.counters_) add(name, value);
+    for (const auto& [name, value] : other.gauges_) set_gauge(name, value);
+    for (const auto& [name, h] : other.histograms_) hist(name) += h;
+}
+
+}  // namespace ilp::obs

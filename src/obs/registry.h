@@ -1,0 +1,97 @@
+// Metrics registry: counters, gauges and log-bucketed histograms.
+//
+// This is the stack's single metrics sink.  The transfer harness publishes
+// every endpoint's counters into one registry under dotted names
+// ("server.send.fused_loop_bytes", "recovery.rpc_retries", ...), so
+// aggregation across endpoints is just repeated add() calls instead of the
+// ad-hoc per-struct summing the harness used to do, and every exporter
+// (text table, BENCH JSON) renders from the same data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace ilp::obs {
+
+// Power-of-two-bucketed histogram for latency-like quantities.  Bucket 0
+// holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).  Percentiles are
+// interpolated linearly inside the bucket, which is exact enough for the
+// "p99 regressed" question the BENCH pipeline asks.
+class histogram {
+public:
+    static constexpr std::size_t bucket_count = 64;
+
+    void record(std::uint64_t value) noexcept;
+
+    std::uint64_t count() const noexcept { return count_; }
+    std::uint64_t sum() const noexcept { return sum_; }
+    std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const noexcept { return max_; }
+    double mean() const noexcept {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    // p in [0, 100].
+    double percentile(double p) const noexcept;
+
+    const std::array<std::uint64_t, bucket_count>& buckets() const noexcept {
+        return buckets_;
+    }
+    // Inclusive lower / exclusive upper value bound of one bucket.
+    static std::uint64_t bucket_lo(std::size_t i) noexcept {
+        return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+    }
+    static std::uint64_t bucket_hi(std::size_t i) noexcept {
+        return i == 0 ? 1 : std::uint64_t{1} << i;
+    }
+
+    histogram& operator+=(const histogram& other) noexcept;
+
+private:
+    std::array<std::uint64_t, bucket_count> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+class registry {
+public:
+    // Counters are create-on-first-use and cumulative: publishing the same
+    // name from several sources sums them.
+    void add(std::string_view name, std::uint64_t delta = 1);
+    std::uint64_t counter(std::string_view name) const;  // 0 when absent
+
+    void set_gauge(std::string_view name, double value);
+    double gauge(std::string_view name) const;  // 0.0 when absent
+
+    histogram& hist(std::string_view name);
+    const histogram* find_hist(std::string_view name) const;
+
+    const std::map<std::string, std::uint64_t, std::less<>>& counters()
+        const noexcept {
+        return counters_;
+    }
+    const std::map<std::string, double, std::less<>>& gauges() const noexcept {
+        return gauges_;
+    }
+    const std::map<std::string, histogram, std::less<>>& histograms()
+        const noexcept {
+        return histograms_;
+    }
+
+    // Sums counters, merges histograms, overwrites gauges.
+    void merge(const registry& other);
+
+private:
+    std::map<std::string, std::uint64_t, std::less<>> counters_;
+    std::map<std::string, double, std::less<>> gauges_;
+    std::map<std::string, histogram, std::less<>> histograms_;
+};
+
+}  // namespace ilp::obs

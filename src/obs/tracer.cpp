@@ -1,0 +1,144 @@
+#include "obs/tracer.h"
+
+#include "memsim/memory_system.h"
+#include "util/contracts.h"
+
+namespace ilp::obs {
+
+namespace {
+
+thread_local tracer* g_current = nullptr;
+
+}  // namespace
+
+mem_counters sample_counters(const memsim::memory_system& sys) {
+    mem_counters c;
+    c.reads = sys.data_stats().reads.total_accesses();
+    c.writes = sys.data_stats().writes.total_accesses();
+    c.l1d_misses = sys.data_stats().total_misses();
+    if (const memsim::cache* l2 = sys.l2()) {
+        c.l2_hits = l2->hits();
+        c.l2_misses = l2->misses();
+    }
+    c.ifetches = sys.instruction_fetches();
+    c.ifetch_misses = sys.instruction_fetch_misses();
+    c.cycles = sys.cycles();
+    return c;
+}
+
+tracer::tracer(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {
+    stack_.reserve(32);
+}
+
+tracer* tracer::current() noexcept { return g_current; }
+
+tracer* tracer::install(tracer* t) noexcept {
+    tracer* prev = g_current;
+    g_current = t;
+    return prev;
+}
+
+std::vector<span> tracer::events() const {
+    std::vector<span> out;
+    const std::size_t live =
+        recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_)
+                                 : ring_.size();
+    out.reserve(live);
+    // Oldest surviving event first: when the ring has wrapped, it lives at
+    // the write cursor.
+    const std::size_t start =
+        recorded_ < ring_.size() ? 0 : write_ % ring_.size();
+    for (std::size_t i = 0; i < live; ++i) {
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+}
+
+mem_counters tracer::side_self_totals(std::string_view side) const {
+    mem_counters sum;
+    for (const auto& [key, totals] : stages_) {
+        if (key.side == side) sum += totals.self;
+    }
+    return sum;
+}
+
+void tracer::open(const char* category, const char* name) {
+    frame f;
+    f.category = category;
+    f.name = name;
+    f.side = side_;
+    f.source = source_;
+    f.begin_us = now();
+    if (f.source != nullptr) f.at_open = sample_counters(*f.source);
+    stack_.push_back(f);
+}
+
+void tracer::close() {
+    ILP_EXPECT(!stack_.empty());
+    const frame f = stack_.back();
+    stack_.pop_back();
+
+    span s;
+    s.category = f.category;
+    s.name = f.name;
+    s.side = f.side;
+    s.kind = event_kind::span;
+    s.begin_us = f.begin_us;
+    s.end_us = now();
+    s.depth = static_cast<std::uint32_t>(stack_.size());
+    if (f.source != nullptr) {
+        const mem_counters at_close = sample_counters(*f.source);
+        s.begin_cycles = f.at_open.cycles;
+        s.end_cycles = at_close.cycles;
+        s.incl = at_close - f.at_open;
+    }
+    s.self = s.incl - f.child_incl;
+    const sim_time dur = s.end_us - s.begin_us;
+    s.self_us = dur - f.child_us;
+
+    // Charge this span's inclusive figures to the parent so the parent's
+    // self attribution excludes it.  Memory counters only transfer between
+    // spans measuring the same memory system.
+    if (!stack_.empty()) {
+        frame& parent = stack_.back();
+        parent.child_us += dur;
+        if (parent.source == f.source && f.source != nullptr) {
+            parent.child_incl += s.incl;
+        }
+    }
+    push_event(s);
+}
+
+void tracer::record_instant(const char* category, const char* name) {
+    span s;
+    s.category = category;
+    s.name = name;
+    s.side = side_;
+    s.kind = event_kind::instant;
+    s.begin_us = s.end_us = now();
+    s.depth = static_cast<std::uint32_t>(stack_.size());
+    if (source_ != nullptr) {
+        const std::uint64_t cycles = sample_counters(*source_).cycles;
+        s.begin_cycles = s.end_cycles = cycles;
+    }
+    push_event(s);
+}
+
+void tracer::push_event(const span& s) {
+    span stamped = s;
+    stamped.seq = recorded_;
+    ring_[write_] = stamped;
+    write_ = (write_ + 1) % ring_.size();
+    ++recorded_;
+
+    stage_key key{s.side != nullptr ? s.side : "", s.category, s.name};
+    stage_totals& totals = stages_[std::move(key)];
+    ++totals.count;
+    totals.total_us += s.end_us - s.begin_us;
+    totals.self_us += s.self_us;
+    totals.incl += s.incl;
+    totals.self += s.self;
+    if (s.kind == event_kind::span) totals.self_cycles.record(s.self.cycles);
+}
+
+}  // namespace ilp::obs

@@ -1,0 +1,229 @@
+// Fixed-capacity ring-buffer span tracer with memsim attribution.
+//
+// The tracer records *spans* — named, nested intervals of virtual time —
+// across the whole stack: application send/receive loops, fused-pipeline
+// parts, RPC marshal/retry, TCP segmentize/checksum/retransmit, net
+// enqueue/drop.  Each span additionally snapshots the counters of the
+// memory-system the enclosing code is attributed to, so the paper's
+// Figure 13/14 quantities (accesses, L1-D misses, cycles) break down per
+// stage, live, instead of only per run.
+//
+// Two stores, two lifetimes:
+//   * a fixed-capacity ring of completed events (the recent window the
+//     Chrome trace_event exporter renders; wraparound overwrites the
+//     oldest), and
+//   * per-stage aggregate totals keyed by (side, category, name), which are
+//     never dropped — the source for the fixed-width breakdown tables and
+//     for the invariant that per-span *self* attribution sums exactly to
+//     the memory_system run totals.
+//
+// Instrumentation sites use the ILP_OBS_* macros; with the CMake option
+// ILP_OBS=OFF they compile to nothing, and with it ON (the default) an
+// uninstalled tracer costs one thread-local pointer test per site.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "memsim/mem_policy.h"
+#include "obs/counters.h"
+#include "obs/registry.h"
+#include "util/virtual_clock.h"
+
+#ifndef ILP_OBS_ENABLED
+#define ILP_OBS_ENABLED 1
+#endif
+
+namespace ilp::obs {
+
+enum class event_kind : std::uint8_t { span, instant };
+
+// One completed event.  `incl` is the counter delta of the attributed
+// memory system over the whole span; `self` subtracts the deltas of nested
+// spans attributed to the same memory system, so summing `self` over all
+// spans of one side reproduces that side's run totals (asserted in
+// tests/obs_test.cpp).
+struct span {
+    const char* category = "";
+    const char* name = "";
+    const char* side = nullptr;  // attribution domain ("client", "server", ...)
+    event_kind kind = event_kind::span;
+    sim_time begin_us = 0;
+    sim_time end_us = 0;
+    sim_time self_us = 0;
+    std::uint64_t begin_cycles = 0;  // memsim cycles at open (0: no source)
+    std::uint64_t end_cycles = 0;
+    std::uint32_t depth = 0;  // nesting depth at open (0 = top level)
+    std::uint64_t seq = 0;    // monotone completion index
+    mem_counters incl;
+    mem_counters self;
+};
+
+// Aggregation key: one logical stage on one attribution side.
+struct stage_key {
+    std::string side;
+    std::string category;
+    std::string name;
+    friend auto operator<=>(const stage_key&, const stage_key&) = default;
+};
+
+struct stage_totals {
+    std::uint64_t count = 0;
+    sim_time total_us = 0;
+    sim_time self_us = 0;
+    mem_counters incl;
+    mem_counters self;
+    histogram self_cycles;  // per-span self memory-system cycles
+};
+
+class tracer {
+public:
+    explicit tracer(std::size_t capacity = 4096);
+
+    // The clock that timestamps spans.  The transfer harness installs its
+    // own virtual clock at the start of a run; spans opened with no clock
+    // carry timestamp 0.  The clock is monotone by contract
+    // (util/virtual_clock.h), so begin <= end always holds.
+    void set_clock(const virtual_clock* clock) noexcept { clock_ = clock; }
+    const virtual_clock* clock() const noexcept { return clock_; }
+
+    // --- completed-event ring ------------------------------------------
+    std::size_t capacity() const noexcept { return ring_.size(); }
+    std::uint64_t recorded() const noexcept { return recorded_; }
+    std::uint64_t dropped() const noexcept {
+        return recorded_ <= ring_.size() ? 0 : recorded_ - ring_.size();
+    }
+    // Oldest-surviving-first copy of the ring.
+    std::vector<span> events() const;
+
+    // --- per-stage aggregates (never dropped) --------------------------
+    const std::map<stage_key, stage_totals>& stages() const noexcept {
+        return stages_;
+    }
+    // Sum of per-span self attribution for one side; equals the attributed
+    // memory system's run totals when every access ran inside a span.
+    mem_counters side_self_totals(std::string_view side) const;
+
+    std::uint32_t open_depth() const noexcept {
+        return static_cast<std::uint32_t>(stack_.size());
+    }
+
+    // --- recording (called by scoped_span / scoped_attribution) --------
+    void open(const char* category, const char* name);
+    void close();
+    void record_instant(const char* category, const char* name);
+
+    // --- thread-local installation -------------------------------------
+    static tracer* current() noexcept;
+    // Returns the previously installed tracer (nullptr if none).
+    static tracer* install(tracer* t) noexcept;
+
+private:
+    friend class scoped_attribution;
+
+    struct frame {
+        const char* category;
+        const char* name;
+        const char* side;
+        const memsim::memory_system* source;  // fixed at open
+        sim_time begin_us;
+        mem_counters at_open;
+        mem_counters child_incl;  // same-source children only
+        sim_time child_us = 0;
+    };
+
+    sim_time now() const noexcept { return clock_ ? clock_->now() : 0; }
+    void push_event(const span& s);
+
+    const virtual_clock* clock_ = nullptr;
+    const memsim::memory_system* source_ = nullptr;  // current attribution
+    const char* side_ = nullptr;
+    std::vector<frame> stack_;
+    std::vector<span> ring_;
+    std::size_t write_ = 0;      // next ring slot
+    std::uint64_t recorded_ = 0;  // completed events ever
+    std::map<stage_key, stage_totals> stages_;
+};
+
+// RAII span; no-op when no tracer is installed.
+class scoped_span {
+public:
+    scoped_span(const char* category, const char* name)
+        : tracer_(tracer::current()) {
+        if (tracer_ != nullptr) tracer_->open(category, name);
+    }
+    ~scoped_span() {
+        if (tracer_ != nullptr) tracer_->close();
+    }
+    scoped_span(const scoped_span&) = delete;
+    scoped_span& operator=(const scoped_span&) = delete;
+
+private:
+    tracer* tracer_;
+};
+
+// RAII attribution scope: spans opened inside are charged to `source`
+// (one endpoint's memory system) under the domain name `side`.  Nests;
+// restores the previous attribution on exit.
+class scoped_attribution {
+public:
+    scoped_attribution(const char* side, const memsim::memory_system* source)
+        : tracer_(tracer::current()) {
+        if (tracer_ == nullptr) return;
+        prev_source_ = tracer_->source_;
+        prev_side_ = tracer_->side_;
+        tracer_->source_ = source;
+        tracer_->side_ = side;
+    }
+    ~scoped_attribution() {
+        if (tracer_ == nullptr) return;
+        tracer_->source_ = prev_source_;
+        tracer_->side_ = prev_side_;
+    }
+    scoped_attribution(const scoped_attribution&) = delete;
+    scoped_attribution& operator=(const scoped_attribution&) = delete;
+
+private:
+    tracer* tracer_;
+    const memsim::memory_system* prev_source_ = nullptr;
+    const char* prev_side_ = nullptr;
+};
+
+inline void instant(const char* category, const char* name) {
+    if (tracer* t = tracer::current()) t->record_instant(category, name);
+}
+
+// Maps a memory policy to the memory system spans should be attributed to:
+// sim_memory exposes its system, every other policy (direct_memory) has
+// nothing to attribute.
+inline const memsim::memory_system* attribution_source(
+    const memsim::sim_memory& mem) noexcept {
+    return &mem.system();
+}
+template <typename M>
+const memsim::memory_system* attribution_source(const M&) noexcept {
+    return nullptr;
+}
+
+}  // namespace ilp::obs
+
+// Statement macros for instrumentation sites.  They compile out entirely
+// under ILP_OBS=OFF; the arguments are then not evaluated.
+#if ILP_OBS_ENABLED
+#define ILP_OBS_CONCAT_(a, b) a##b
+#define ILP_OBS_CONCAT(a, b) ILP_OBS_CONCAT_(a, b)
+#define ILP_OBS_SPAN(category, name)                   \
+    [[maybe_unused]] ::ilp::obs::scoped_span ILP_OBS_CONCAT( \
+        ilp_obs_span_, __LINE__) { category, name }
+#define ILP_OBS_ATTR(side, source)                            \
+    [[maybe_unused]] ::ilp::obs::scoped_attribution ILP_OBS_CONCAT( \
+        ilp_obs_attr_, __LINE__) { side, source }
+#define ILP_OBS_INSTANT(category, name) ::ilp::obs::instant(category, name)
+#else
+#define ILP_OBS_SPAN(category, name) static_cast<void>(0)
+#define ILP_OBS_ATTR(side, source) static_cast<void>(0)
+#define ILP_OBS_INSTANT(category, name) static_cast<void>(0)
+#endif

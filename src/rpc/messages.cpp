@@ -1,5 +1,6 @@
 #include "rpc/messages.h"
 
+#include "obs/tracer.h"
 #include "util/contracts.h"
 #include "util/endian.h"
 #include "xdr/xdr.h"
@@ -14,6 +15,7 @@ constexpr std::size_t max_filename_bytes = 255;
 
 std::optional<std::size_t> marshal_request(const file_request& request,
                                            std::span<std::byte> out) {
+    ILP_OBS_SPAN("rpc", "marshal_request");
     if (request.filename.size() > max_filename_bytes) return std::nullopt;
     xdr::writer w(out);
     const std::size_t length_slot = w.reserve_u32();  // encryption header
@@ -37,6 +39,7 @@ std::optional<std::size_t> marshal_request(const file_request& request,
 
 std::optional<file_request> unmarshal_request(
     std::span<const std::byte> wire) {
+    ILP_OBS_SPAN("rpc", "unmarshal_request");
     xdr::reader r(wire);
     const std::uint32_t length = r.get_u32();
     if (!r.ok() || !validate_enc_header(length, wire.size()).has_value()) {

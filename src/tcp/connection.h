@@ -33,6 +33,7 @@
 #include "checksum/internet_checksum.h"
 #include "memsim/mem_policy.h"
 #include "net/datagram.h"
+#include "obs/tracer.h"
 #include "tcp/header.h"
 #include "util/contracts.h"
 #include "util/virtual_clock.h"
@@ -151,6 +152,7 @@ public:
             ++stats_.send_blocked;
             return false;
         }
+        ILP_OBS_SPAN("tcp", "segmentize");
         const ring_span dst = ring_.reserve(wire_len);
         std::optional<std::uint16_t> payload_sum = fill(dst);
         ring_.commit(wire_len);
@@ -162,6 +164,7 @@ public:
             meta.payload_sum = *payload_sum;
         } else {
             // tcp_output's own checksum pass over the ring (non-ILP step 4).
+            ILP_OBS_SPAN("tcp", "checksum");
             meta.payload_sum = checksum_over_ring(snd_nxt_ - snd_una_, wire_len);
         }
         meta.first_sent_at = clock_->now();
@@ -178,6 +181,7 @@ public:
     // user-level TCP even pure ACKs cross the kernel/user boundary, the
     // overhead the paper singles out in §4.1.
     void on_ack_packet(std::span<const std::byte> kernel_packet) {
+        ILP_OBS_SPAN("tcp", "ack_input");
         if (kernel_packet.size() < header_bytes) {
             ++stats_.bad_acks;
             return;
@@ -260,6 +264,15 @@ public:
     const sender_stats& stats() const noexcept { return stats_; }
     const ring_buffer& ring() const noexcept { return ring_; }
 
+    // Attribution identity for spans opened from this connection's timers
+    // (RTO, persist), which fire from clock.advance() outside any
+    // endpoint-scoped attribution.
+    void set_attribution(const char* side,
+                         const memsim::memory_system* source) noexcept {
+        obs_side_ = side;
+        obs_src_ = source;
+    }
+
 private:
     struct segment_meta {
         std::uint32_t seq = 0;
@@ -280,6 +293,7 @@ private:
     // tcp_output: header build, checksum completion, system copy to the
     // kernel part.
     void transmit(const segment_meta& meta) {
+        ILP_OBS_SPAN("tcp", "output");
         header_fields h;
         h.src_port = config_.local_port;
         h.dst_port = config_.remote_port;
@@ -307,6 +321,7 @@ private:
     void arm_rto() {
         if (rto_token_ != 0 || unacked_.empty() || failed_) return;
         rto_token_ = clock_->schedule_after(current_rto(), [this] {
+            ILP_OBS_ATTR(obs_side_, obs_src_);
             rto_token_ = 0;
             on_rto();
         });
@@ -378,6 +393,7 @@ private:
         }
         if (interval > config_.max_rto_us) interval = config_.max_rto_us;
         persist_token_ = clock_->schedule_after(interval, [this] {
+            ILP_OBS_ATTR(obs_side_, obs_src_);
             persist_token_ = 0;
             on_persist();
         });
@@ -392,6 +408,7 @@ private:
 
     void on_persist() {
         if (failed_ || peer_window_ != 0) return;
+        ILP_OBS_SPAN("tcp", "persist");
         // A zero-payload segment at snd_nxt elicits a pure ACK carrying the
         // peer's current window (the classic persist-timer probe).
         transmit_control(flags::psh, snd_nxt_);
@@ -402,10 +419,12 @@ private:
 
     void on_rto() {
         if (unacked_.empty()) return;
+        ILP_OBS_SPAN("tcp", "retransmit");
         if (++retries_ > config_.max_retries) {
             // Give up — and say so: an RST tells the peer this end stopped
             // retransmitting, instead of leaving it waiting forever.
             failed_ = true;
+            ILP_OBS_INSTANT("tcp", "rst_sent");
             transmit_control(flags::rst, snd_una_);
             ++stats_.rsts_sent;
             return;
@@ -438,6 +457,8 @@ private:
     double srtt_us_ = 0;
     double rttvar_us_ = 0;
     bool failed_ = false;
+    const char* obs_side_ = nullptr;
+    const memsim::memory_system* obs_src_ = nullptr;
     sender_stats stats_;
     alignas(8) std::byte header_buffer_[header_bytes] = {};
     alignas(8) std::byte ack_buffer_[header_bytes] = {};
@@ -499,6 +520,7 @@ public:
 
     // tcp_input: one arriving TPDU in kernel memory.
     void on_packet(std::span<const std::byte> kernel_packet) {
+        ILP_OBS_SPAN("tcp", "input");
         ++stats_.segments_received;
 
         // --- system copy (Fig. 5 step 1): kernel buffer -> receive buffer.
@@ -538,6 +560,7 @@ public:
                                         recv_buffer_.subspan(0, header_bytes),
                                         0, 0)) {
                 ++stats_.rsts_received;
+                ILP_OBS_INSTANT("tcp", "rst_received");
                 peer_failed_ = true;
                 if (on_failure_ != nullptr) on_failure_();
             } else {
@@ -595,6 +618,7 @@ public:
 
 private:
     void send_ack() {
+        ILP_OBS_SPAN("tcp", "ack_output");
         header_fields h;
         h.src_port = config_.local_port;
         h.dst_port = config_.remote_port;

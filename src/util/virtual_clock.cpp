@@ -6,10 +6,13 @@
 
 namespace ilp {
 
-void virtual_clock::advance(sim_time delta_us) { advance_to(now_us_ + delta_us); }
+void virtual_clock::advance(sim_time delta_us) {
+    ILP_EXPECT(delta_us <= ~sim_time{0} - now_us_);  // no sim_time overflow
+    advance_to(now_us_ + delta_us);
+}
 
 void virtual_clock::advance_to(sim_time deadline_us) {
-    ILP_EXPECT(deadline_us >= now_us_);
+    ILP_EXPECT(deadline_us >= now_us_);  // monotone: the clock never rewinds
     // Fire timers in deadline order up to the target time.  Timer callbacks
     // may schedule new timers; those fire too if due before the target.
     for (;;) {

@@ -15,14 +15,24 @@ namespace ilp {
 // Microseconds since simulation start.
 using sim_time = std::uint64_t;
 
+// Monotonicity contract: now() never decreases.  advance()/advance_to()
+// enforce it with ILP_EXPECT — rewinding time (advance_to into the past) or
+// overflowing sim_time (advance by a delta that wraps the 64-bit counter)
+// aborts in any build with contracts enabled.  Everything downstream relies
+// on this: the span tracer records begin <= end without clamping, TCP's RTO
+// estimator subtracts timestamps unsigned, and the BENCH reports divide by
+// elapsed time.  2^64 microseconds is ~584,000 years of virtual time, so
+// the overflow check only ever fires on arithmetic bugs, not on long runs.
 class virtual_clock {
 public:
     sim_time now() const noexcept { return now_us_; }
 
-    // Advance time; fires due timers in deadline order.
+    // Advance time; fires due timers in deadline order.  delta_us must not
+    // overflow now() + delta_us (checked).
     void advance(sim_time delta_us);
 
-    // Jump directly to an absolute time >= now().
+    // Jump directly to an absolute time >= now() (checked; the clock never
+    // rewinds).
     void advance_to(sim_time deadline_us);
 
     // Schedules `fn` at absolute time `deadline_us`; returns a token usable

@@ -9,6 +9,7 @@
 #include "util/endian.h"
 #include "util/fixed_vector.h"
 #include "util/hexdump.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/virtual_clock.h"
 
@@ -174,6 +175,67 @@ TEST(VirtualClock, PendingTimerCount) {
     EXPECT_EQ(clock.pending_timers(), 2u);
     clock.advance(15);
     EXPECT_EQ(clock.pending_timers(), 1u);
+}
+
+TEST(VirtualClockDeath, RewindViolatesMonotonicityContract) {
+    virtual_clock clock;
+    clock.advance(100);
+    EXPECT_DEATH(clock.advance_to(50), "deadline_us >= now_us_");
+}
+
+TEST(VirtualClockDeath, OverflowingAdvanceAborts) {
+    virtual_clock clock;
+    clock.advance(100);
+    EXPECT_DEATH(clock.advance(~sim_time{0}), "delta_us <=");
+}
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(json::parse("null")->is_null());
+    EXPECT_TRUE(json::parse("true")->as_bool());
+    EXPECT_FALSE(json::parse("false")->as_bool(true));
+    EXPECT_DOUBLE_EQ(json::parse("-12.5e2")->as_number(), -1250.0);
+    EXPECT_EQ(*json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+    const auto doc = json::parse(
+        R"({"bench": "fig08", "metrics": [{"name": "a", "value": 1.5}],)"
+        R"( "ok": true})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->string_at("bench"), "fig08");
+    EXPECT_TRUE(doc->find("ok")->as_bool());
+    const json::array* metrics = doc->find("metrics")->as_array();
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_EQ(metrics->size(), 1u);
+    EXPECT_EQ((*metrics)[0].string_at("name"), "a");
+    EXPECT_DOUBLE_EQ((*metrics)[0].number_at("value"), 1.5);
+}
+
+TEST(Json, DecodesStringEscapes) {
+    const auto doc = json::parse(R"("a\"b\\c\ndA\u00e9")");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(*doc->as_string(), "a\"b\\c\nd"
+                                 "A\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_FALSE(json::parse("").has_value());
+    EXPECT_FALSE(json::parse("{").has_value());
+    EXPECT_FALSE(json::parse("[1,]").has_value());
+    EXPECT_FALSE(json::parse("{\"a\" 1}").has_value());
+    EXPECT_FALSE(json::parse("12 garbage").has_value());
+    EXPECT_FALSE(json::parse("\"unterminated").has_value());
+    std::string deep;
+    for (int i = 0; i < 100; ++i) deep += "[";
+    EXPECT_FALSE(json::parse(deep).has_value());  // depth limit
+}
+
+TEST(Json, LookupFallbacks) {
+    const auto doc = json::parse(R"({"n": 3})");
+    EXPECT_EQ(doc->find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(doc->number_at("missing", -1.0), -1.0);
+    EXPECT_EQ(doc->string_at("n", "fallback"), "fallback");  // wrong type
+    EXPECT_EQ(json::parse("[]")->find("k"), nullptr);  // not an object
 }
 
 TEST(FixedVector, PushAndIterate) {

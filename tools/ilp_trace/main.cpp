@@ -1,0 +1,346 @@
+// ilp-trace: offline companion for the src/obs instrumentation.
+//
+//   ilp-trace summarize <trace.json>         per-stage table from a Chrome
+//                                            trace_event file, with self
+//                                            cache-miss attribution by stage
+//   ilp-trace validate  <file.json>          structural check of a Chrome
+//                                            trace or a BENCH schema file
+//   ilp-trace diff <old.json> <new.json>     compare two BENCH JSON reports
+//       [--threshold=<pct>]                  (also accepted: --diff old new)
+//
+// Exit codes: 0 success / no regression, 1 regression beyond threshold,
+// 2 usage, I/O, or parse error.  CI runs `diff` against a checked-in
+// baseline so perf regressions fail the build without gating tier-1 tests.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/table.h"
+#include "util/json.h"
+
+namespace {
+
+using ilp::json::value;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: ilp-trace summarize <trace.json>\n"
+                 "       ilp-trace validate <file.json>\n"
+                 "       ilp-trace diff <old.json> <new.json>"
+                 " [--threshold=<pct>]\n");
+    return 2;
+}
+
+// Chrome exports either a bare array or {"traceEvents": [...]}.
+const ilp::json::array* trace_events(const value& doc) {
+    if (doc.is_array()) return doc.as_array();
+    const value* events = doc.find("traceEvents");
+    return events == nullptr ? nullptr : events->as_array();
+}
+
+// ---------------------------------------------------------------- summarize
+
+struct stage_sum {
+    std::uint64_t count = 0;
+    double dur_us = 0;
+    std::uint64_t self_accesses = 0;
+    std::uint64_t self_l1d_misses = 0;
+    std::uint64_t self_cycles = 0;
+    std::uint64_t l1d_misses = 0;  // inclusive
+};
+
+int cmd_summarize(const std::string& path) {
+    const std::optional<value> doc = ilp::json::parse_file(path);
+    if (!doc.has_value()) {
+        std::fprintf(stderr, "ilp-trace: cannot parse %s\n", path.c_str());
+        return 2;
+    }
+    const ilp::json::array* events = trace_events(*doc);
+    if (events == nullptr) {
+        std::fprintf(stderr, "ilp-trace: %s is not a trace_event file\n",
+                     path.c_str());
+        return 2;
+    }
+
+    std::map<double, std::string> thread_names;
+    std::map<std::pair<std::string, std::string>, stage_sum> stages;
+    std::uint64_t instants = 0;
+    for (const value& ev : *events) {
+        const std::string ph = ev.string_at("ph");
+        if (ph == "M" && ev.string_at("name") == "thread_name") {
+            const value* args = ev.find("args");
+            if (args != nullptr) {
+                thread_names[ev.number_at("tid")] = args->string_at("name");
+            }
+            continue;
+        }
+        if (ph == "i") {
+            ++instants;
+            continue;
+        }
+        if (ph != "X") continue;
+        const double tid = ev.number_at("tid");
+        const auto tn = thread_names.find(tid);
+        const std::string side =
+            tn == thread_names.end() ? "-" : tn->second;
+        stage_sum& s = stages[{side, ev.string_at("name")}];
+        ++s.count;
+        s.dur_us += ev.number_at("dur");
+        const value* args = ev.find("args");
+        if (args != nullptr) {
+            s.self_accesses +=
+                static_cast<std::uint64_t>(args->number_at("self_accesses"));
+            s.self_l1d_misses += static_cast<std::uint64_t>(
+                args->number_at("self_l1d_misses"));
+            s.self_cycles +=
+                static_cast<std::uint64_t>(args->number_at("self_cycles"));
+            s.l1d_misses +=
+                static_cast<std::uint64_t>(args->number_at("l1d_misses"));
+        }
+    }
+
+    std::uint64_t total_self_misses = 0;
+    for (const auto& [key, s] : stages) total_self_misses += s.self_l1d_misses;
+
+    ilp::stats::table out({"side", "stage", "count", "dur", "self accesses",
+                           "self l1d miss", "miss %", "self cycles"});
+    for (const auto& [key, s] : stages) {
+        const double share =
+            total_self_misses == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(s.self_l1d_misses) /
+                      static_cast<double>(total_self_misses);
+        out.row()
+            .cell(key.first)
+            .cell(key.second)
+            .cell(s.count)
+            .cell(s.dur_us, 0)
+            .cell(s.self_accesses)
+            .cell(s.self_l1d_misses)
+            .cell(share, 1)
+            .cell(s.self_cycles);
+    }
+    out.print();
+    std::printf("%zu stage(s), %llu span event(s), %llu instant(s)\n",
+                stages.size(),
+                static_cast<unsigned long long>([&] {
+                    std::uint64_t n = 0;
+                    for (const auto& [k, s] : stages) n += s.count;
+                    return n;
+                }()),
+                static_cast<unsigned long long>(instants));
+    return 0;
+}
+
+// ----------------------------------------------------------------- validate
+
+bool validate_trace(const value& doc, std::string& why) {
+    const ilp::json::array* events = trace_events(doc);
+    if (events == nullptr) {
+        why = "no trace event array";
+        return false;
+    }
+    for (std::size_t i = 0; i < events->size(); ++i) {
+        const value& ev = (*events)[i];
+        if (!ev.is_object()) {
+            why = "event " + std::to_string(i) + " is not an object";
+            return false;
+        }
+        const std::string ph = ev.string_at("ph");
+        if (ph.empty()) {
+            why = "event " + std::to_string(i) + " missing ph";
+            return false;
+        }
+        if (ph == "X" &&
+            (ev.find("ts") == nullptr || ev.find("dur") == nullptr ||
+             ev.find("name") == nullptr)) {
+            why = "complete event " + std::to_string(i) +
+                  " missing ts/dur/name";
+            return false;
+        }
+    }
+    return true;
+}
+
+bool validate_bench(const value& doc, std::string& why) {
+    const double version = doc.number_at("schema_version", -1);
+    if (version < 2) {
+        why = "schema_version missing or < 2";
+        return false;
+    }
+    if (doc.find("bench") == nullptr || doc.find("metrics") == nullptr) {
+        why = "missing bench/metrics";
+        return false;
+    }
+    const ilp::json::array* metrics = doc.find("metrics")->as_array();
+    if (metrics == nullptr) {
+        why = "metrics is not an array";
+        return false;
+    }
+    for (std::size_t i = 0; i < metrics->size(); ++i) {
+        const value& m = (*metrics)[i];
+        if (m.find("name") == nullptr || m.find("value") == nullptr ||
+            m.find("better") == nullptr) {
+            why = "metric " + std::to_string(i) + " missing name/value/better";
+            return false;
+        }
+        const std::string better = m.string_at("better");
+        if (better != "higher" && better != "lower" && better != "info") {
+            why = "metric " + std::to_string(i) + " bad better: " + better;
+            return false;
+        }
+    }
+    return true;
+}
+
+int cmd_validate(const std::string& path) {
+    const std::optional<value> doc = ilp::json::parse_file(path);
+    if (!doc.has_value()) {
+        std::fprintf(stderr, "ilp-trace: cannot parse %s\n", path.c_str());
+        return 2;
+    }
+    std::string why;
+    const bool is_bench = doc->find("schema_version") != nullptr;
+    const bool ok = is_bench ? validate_bench(*doc, why)
+                             : validate_trace(*doc, why);
+    if (!ok) {
+        std::fprintf(stderr, "ilp-trace: %s invalid (%s): %s\n", path.c_str(),
+                     is_bench ? "BENCH schema" : "trace_event", why.c_str());
+        return 2;
+    }
+    std::printf("%s: valid %s\n", path.c_str(),
+                is_bench ? "BENCH schema v2 file" : "Chrome trace_event file");
+    return 0;
+}
+
+// --------------------------------------------------------------------- diff
+
+struct metric_entry {
+    double value = 0;
+    std::string unit;
+    std::string better;
+};
+
+std::map<std::string, metric_entry> load_metrics(const value& doc) {
+    std::map<std::string, metric_entry> out;
+    const value* metrics = doc.find("metrics");
+    const ilp::json::array* arr =
+        metrics == nullptr ? nullptr : metrics->as_array();
+    if (arr == nullptr) return out;
+    for (const value& m : *arr) {
+        out[m.string_at("name")] = {m.number_at("value"), m.string_at("unit"),
+                                    m.string_at("better")};
+    }
+    return out;
+}
+
+int cmd_diff(const std::string& old_path, const std::string& new_path,
+             double threshold_pct) {
+    const std::optional<value> old_doc = ilp::json::parse_file(old_path);
+    const std::optional<value> new_doc = ilp::json::parse_file(new_path);
+    if (!old_doc.has_value() || !new_doc.has_value()) {
+        std::fprintf(stderr, "ilp-trace: cannot parse %s\n",
+                     old_doc.has_value() ? new_path.c_str()
+                                         : old_path.c_str());
+        return 2;
+    }
+    std::string why;
+    if (!validate_bench(*old_doc, why)) {
+        std::fprintf(stderr, "ilp-trace: %s: %s\n", old_path.c_str(),
+                     why.c_str());
+        return 2;
+    }
+    if (!validate_bench(*new_doc, why)) {
+        std::fprintf(stderr, "ilp-trace: %s: %s\n", new_path.c_str(),
+                     why.c_str());
+        return 2;
+    }
+
+    const auto old_metrics = load_metrics(*old_doc);
+    const auto new_metrics = load_metrics(*new_doc);
+
+    ilp::stats::table out(
+        {"metric", "old", "new", "delta %", "better", "verdict"});
+    int regressions = 0;
+    for (const auto& [name, o] : old_metrics) {
+        const auto it = new_metrics.find(name);
+        if (it == new_metrics.end()) {
+            out.row().cell(name).cell(o.value, 4).cell("-").cell("-")
+                .cell(o.better).cell("MISSING");
+            if (o.better != "info") ++regressions;
+            continue;
+        }
+        const metric_entry& n = it->second;
+        const double delta_pct =
+            o.value == 0.0
+                ? (n.value == 0.0 ? 0.0 : 100.0)
+                : 100.0 * (n.value - o.value) / std::fabs(o.value);
+        const char* verdict = "ok";
+        if (o.better == "higher" && delta_pct < -threshold_pct) {
+            verdict = "REGRESSION";
+            ++regressions;
+        } else if (o.better == "lower" && delta_pct > threshold_pct) {
+            verdict = "REGRESSION";
+            ++regressions;
+        } else if (o.better != "info" &&
+                   std::fabs(delta_pct) > threshold_pct) {
+            verdict = "improved";
+        }
+        out.row()
+            .cell(name)
+            .cell(o.value, 4)
+            .cell(n.value, 4)
+            .cell(delta_pct, 2)
+            .cell(o.better)
+            .cell(verdict);
+    }
+    for (const auto& [name, n] : new_metrics) {
+        if (old_metrics.find(name) != old_metrics.end()) continue;
+        out.row().cell(name).cell("-").cell(n.value, 4).cell("-")
+            .cell(n.better).cell("new");
+    }
+    out.print();
+    std::printf("threshold %.2f %%: %d regression(s)\n", threshold_pct,
+                regressions);
+    return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string command;
+    std::vector<std::string> paths;
+    double threshold_pct = 5.0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--threshold=", 0) == 0) {
+            char* end = nullptr;
+            threshold_pct = std::strtod(arg.c_str() + 12, &end);
+            if (end == nullptr || *end != '\0' || threshold_pct < 0) {
+                std::fprintf(stderr, "ilp-trace: bad threshold %s\n",
+                             arg.c_str());
+                return 2;
+            }
+        } else if (arg == "--diff") {
+            command = "diff";  // `ilp-trace --diff old new` spelling
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (command == "summarize" && paths.size() == 1) {
+        return cmd_summarize(paths[0]);
+    }
+    if (command == "validate" && paths.size() == 1) {
+        return cmd_validate(paths[0]);
+    }
+    if (command == "diff" && paths.size() == 2) {
+        return cmd_diff(paths[0], paths[1], threshold_pct);
+    }
+    return usage();
+}
