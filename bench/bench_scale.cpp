@@ -1,0 +1,196 @@
+// Throughput vs. concurrent flow count, ILP vs. layered, on the multi-flow
+// engine (engine::run_fleet): the scaling companion to the single-flow
+// figure benches.
+//
+// Sweeps fleet sizes on a 4-shard deficit-round-robin engine, re-runs the
+// largest fleet to assert the determinism contract (same seed -> same
+// fleet_report digest; a mismatch fails the bench), and reports per-shard
+// cache contention from a simulated-memory fleet.  Emits the versioned
+// BENCH JSON schema; the checked-in baseline (bench/baselines/
+// BENCH_scale.json) records the `--smoke` sweep that CI diffs against.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crypto/safer_simplified.h"
+#include "engine/fleet.h"
+#include "memsim/configs.h"
+#include "obs/bench_json.h"
+#include "obs/export_chrome.h"
+#include "obs/tracer.h"
+
+namespace {
+
+using ilp::engine::fleet_config;
+using ilp::engine::fleet_report;
+
+fleet_config fleet_of(std::uint32_t flows, ilp::app::path_mode mode) {
+    fleet_config cfg;
+    cfg.flows = flows;
+    cfg.shards = 4;
+    cfg.policy = ilp::engine::sched_policy::deficit_round_robin;
+    cfg.defaults.mode = mode;
+    cfg.defaults.file_bytes = 15 * 1024;  // the paper's transfer unit
+    cfg.defaults.packet_wire_bytes = 1024;
+    return cfg;
+}
+
+void report_fleet(ilp::obs::bench_report& report, const std::string& key,
+                  const fleet_report& r) {
+    using ilp::obs::direction;
+    report.metric(key + ".completed", static_cast<double>(r.completed),
+                  "count", direction::higher_is_better);
+    report.metric(key + ".verified", static_cast<double>(r.verified), "count",
+                  direction::higher_is_better);
+    report.metric(key + ".failed", static_cast<double>(r.failed), "count",
+                  direction::lower_is_better);
+    report.metric(key + ".aggregate_goodput_mbps",
+                  r.aggregate_throughput_mbps(), "mbps",
+                  direction::higher_is_better);
+    report.metric(key + ".max_elapsed_ms",
+                  static_cast<double>(r.max_elapsed_us) / 1000.0, "ms",
+                  direction::lower_is_better);
+    report.metric(key + ".rpc_retries",
+                  static_cast<double>(r.metrics.counter("engine.rpc_retries")),
+                  "count", direction::lower_is_better);
+    report.metric(
+        key + ".tcp_retransmissions",
+        static_cast<double>(r.metrics.counter("engine.tcp_retransmissions")),
+        "count", direction::lower_is_better);
+    if (const ilp::obs::histogram* h =
+            r.metrics.find_hist("engine.flow_elapsed_us")) {
+        report.histogram_metric(key + ".flow_elapsed_us", *h, "us");
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace ilp;
+    using cipher = crypto::safer_simplified;
+
+    bool smoke = false;
+    std::string json_path;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = arg.substr(8);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_scale [--smoke] [--json=PATH] "
+                         "[--trace=PATH]\n");
+            return 2;
+        }
+    }
+
+    // The smoke sweep is a strict prefix of the full one, so the checked-in
+    // smoke baseline stays diffable against full runs.
+    const std::vector<std::uint32_t> counts =
+        smoke ? std::vector<std::uint32_t>{4, 16}
+              : std::vector<std::uint32_t>{4, 16, 64, 256};
+
+    obs::bench_report report("scale");
+    report.meta("file_kb", "15");
+    report.meta("packet_bytes", "1024");
+    report.meta("shards", "4");
+    report.meta("policy", "deficit_round_robin");
+    report.meta("cipher", "safer_simplified");
+
+    for (const std::uint32_t n : counts) {
+        for (const app::path_mode mode :
+             {app::path_mode::ilp, app::path_mode::layered}) {
+            const fleet_report r =
+                engine::run_fleet_native<cipher>(fleet_of(n, mode));
+            const std::string key =
+                "f" + std::to_string(n) +
+                (mode == app::path_mode::ilp ? ".ilp" : ".layered");
+            report_fleet(report, key, r);
+        }
+    }
+
+    // Determinism gate: the largest fleet, twice, must produce identical
+    // per-flow outcomes.
+    const std::uint32_t largest = counts.back();
+    const fleet_report once =
+        engine::run_fleet_native<cipher>(fleet_of(largest, app::path_mode::ilp));
+    const fleet_report again =
+        engine::run_fleet_native<cipher>(fleet_of(largest, app::path_mode::ilp));
+    if (once.digest() != again.digest()) {
+        std::fprintf(stderr,
+                     "ERROR: fleet of %u flows is not deterministic "
+                     "(digest %016llx vs %016llx)\n",
+                     largest, static_cast<unsigned long long>(once.digest()),
+                     static_cast<unsigned long long>(again.digest()));
+        return 1;
+    }
+    report.metric("determinism.digest_stable", 1.0, "bool",
+                  obs::direction::higher_is_better);
+
+    // Per-shard cache contention, ILP vs. layered: a small fleet over
+    // simulated memory, one client/server memory-system pair per shard.
+    // Virtual-clock goodput is path-agnostic by construction, so this is
+    // where the ILP-vs-layered difference shows: memory cycles per
+    // delivered byte under concurrent flows.
+    for (const app::path_mode mode :
+         {app::path_mode::ilp, app::path_mode::layered}) {
+        fleet_config sim_cfg = fleet_of(8, mode);
+        sim_cfg.shards = 2;
+        const fleet_report sim = engine::run_fleet_simulated<cipher>(
+            sim_cfg, memsim::supersparc_no_l2());
+        const std::string mode_key =
+            mode == app::path_mode::ilp ? "sim.ilp" : "sim.layered";
+        std::uint64_t total_cycles = 0;
+        for (const engine::shard_summary& s : sim.shards) {
+            const std::string key = mode_key + ".shard" + std::to_string(s.shard);
+            total_cycles += s.client_mem.cycles + s.server_mem.cycles;
+            report.metric(key + ".mem_cycles",
+                          static_cast<double>(s.client_mem.cycles +
+                                              s.server_mem.cycles),
+                          "cycles", obs::direction::info);
+            report.metric(key + ".l1d_misses",
+                          static_cast<double>(s.client_mem.l1d_misses +
+                                              s.server_mem.l1d_misses),
+                          "count", obs::direction::info);
+        }
+        report.metric(mode_key + ".cycles_per_byte",
+                      sim.payload_bytes == 0
+                          ? 0.0
+                          : static_cast<double>(total_cycles) /
+                                static_cast<double>(sim.payload_bytes),
+                      "cycles", obs::direction::lower_is_better);
+    }
+
+    if (!trace_path.empty()) {
+        // One extra instrumented fleet on a single serial shard (the tracer
+        // is thread-local): every span carries its flow id, so
+        // `ilp-trace summarize --per-flow` attributes stage costs per flow.
+        obs::tracer tracer(1 << 16);
+        obs::tracer* prev = obs::tracer::install(&tracer);
+        fleet_config traced = fleet_of(4, app::path_mode::ilp);
+        traced.shards = 1;
+        const fleet_report r = engine::run_fleet_native<cipher>(traced);
+        obs::tracer::install(prev);
+        if (r.completed != traced.flows) {
+            std::fprintf(stderr, "ERROR: traced fleet failed\n");
+            return 1;
+        }
+        if (!obs::write_chrome_trace(tracer, trace_path,
+                                     obs::trace_timebase::sim_us)) {
+            std::fprintf(stderr, "ERROR: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+    }
+
+    std::fputs(report.render().c_str(), stdout);
+    if (!json_path.empty() && !report.write(json_path)) {
+        std::fprintf(stderr, "ERROR: cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    return 0;
+}

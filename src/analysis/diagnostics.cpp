@@ -2,6 +2,13 @@
 
 #include <array>
 
+// GCC 12 false-positives -Wrestrict on inlined std::string concatenation in
+// render_json (gcc bug 105329): the compiler invents impossible overlapping
+// memcpy bounds for operator+ on rvalue strings.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 namespace ilp::analysis {
 
 namespace {

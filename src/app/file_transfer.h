@@ -80,8 +80,12 @@ private:
 template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
 class file_server {
 public:
+    // Unwired form: the caller owns packet routing (the multi-flow engine's
+    // port demux feeds on_request_packet / on_reply_ack_packet); only the
+    // two outbound pipes are attached here.
     file_server(const Mem& mem, const Cipher& cipher, virtual_clock& clock,
-                net::duplex_link& request_link, net::duplex_link& reply_link,
+                net::datagram_pipe& request_ack_out,
+                net::datagram_pipe& reply_data_out,
                 const tcp::connection_config& request_cfg,
                 const tcp::connection_config& reply_cfg, path_mode mode,
                 const file_store& store)
@@ -90,29 +94,15 @@ public:
           mode_(mode),
           store_(&store),
           request_isn_(request_cfg.initial_seq),
-          request_rx_(mem, clock, request_link.reverse(), request_cfg),
-          reply_tx_(mem, clock, reply_link.forward(), reply_cfg),
+          request_rx_(mem, clock, request_ack_out, request_cfg),
+          reply_tx_(mem, clock, reply_data_out, reply_cfg),
           workspace_(net::datagram_pipe::max_packet_bytes),
           request_staging_(net::datagram_pipe::max_packet_bytes) {
         reply_tx_.set_attribution("server", obs_src_);
-        // Packet handlers fire from inside clock.advance() (delivery timers),
-        // outside pump()/poll() — the attribution scope must travel with
-        // them, or their memory traffic would be charged to no side.
-        request_link.forward().set_receiver(
-            [this](std::span<const std::byte> p) {
-                ILP_OBS_ATTR("server", obs_src_);
-                request_rx_.on_packet(p);
-            });
         // The client's request sender RSTs when it gives up; rewind to the
         // agreed initial sequence so its re-established sender lines up.
         request_rx_.set_failure_handler(
             [this] { request_rx_.reset(request_isn_); });
-        reply_link.reverse().set_receiver(
-            [this](std::span<const std::byte> p) {
-                ILP_OBS_ATTR("server", obs_src_);
-                reply_tx_.on_ack_packet(p);
-                pump();  // freed window: continue segmenting
-            });
         request_rx_.set_processor([this](std::span<std::byte> payload) {
             return receive_request(mode_, mem_, *cipher_, payload,
                                    request_staging_.span(), rx_counters_);
@@ -120,6 +110,46 @@ public:
         request_rx_.set_accept_handler(
             [this](std::size_t wire_len) { on_request(wire_len); });
     }
+
+    // Single-flow wiring: this server is the only listener on both links, so
+    // it installs itself as the raw pipe receiver.
+    file_server(const Mem& mem, const Cipher& cipher, virtual_clock& clock,
+                net::duplex_link& request_link, net::duplex_link& reply_link,
+                const tcp::connection_config& request_cfg,
+                const tcp::connection_config& reply_cfg, path_mode mode,
+                const file_store& store)
+        : file_server(mem, cipher, clock, request_link.reverse(),
+                      reply_link.forward(), request_cfg, reply_cfg, mode,
+                      store) {
+        // Packet handlers fire from inside clock.advance() (delivery timers),
+        // outside pump()/poll() — the attribution scope must travel with
+        // them, or their memory traffic would be charged to no side.
+        request_link.forward().set_receiver(
+            [this](std::span<const std::byte> p) { on_request_packet(p); });
+        reply_link.reverse().set_receiver(
+            [this](std::span<const std::byte> p) { on_reply_ack_packet(p); });
+    }
+
+    // Packet entry points; the attribution scope travels with them because
+    // they also fire from inside clock.advance() (delivery timers).
+    void on_request_packet(std::span<const std::byte> p) {
+        ILP_OBS_ATTR("server", obs_src_);
+        request_rx_.on_packet(p);
+    }
+    void on_reply_ack_packet(std::span<const std::byte> p) {
+        ILP_OBS_ATTR("server", obs_src_);
+        reply_tx_.on_ack_packet(p);
+        if (auto_pump_) pump();  // freed window: continue segmenting
+    }
+
+    // When off, ACK arrival and request acceptance only record state and the
+    // caller meters every segment out through pump_one() — how the engine's
+    // deficit-round-robin policy charges bytes per grant.
+    void set_auto_pump(bool on) noexcept { auto_pump_ = on; }
+
+    // Disarms pending TCP timers.  Required before destroying a server whose
+    // clock lives on (engine flow teardown): armed timers capture `this`.
+    void quiesce() { reply_tx_.quiesce(); }
 
     // Makes forward progress on pending reply streams; idempotent, called
     // from the run loop and from the ACK handler.
@@ -139,6 +169,41 @@ public:
             if (!send_next_reply(jobs_.front())) return;  // blocked or done
             if (jobs_.front().finished) jobs_.pop_front();
         }
+    }
+
+    // Sends at most one reply segment; returns its wire size in bytes, 0
+    // when nothing was sent (no pending jobs, reply stream failed, or TCP
+    // out of buffer/window space).  A zero-payload completion reply still
+    // reports its header wire bytes, so 0 unambiguously means "blocked".
+    std::size_t pump_one() {
+        ILP_OBS_ATTR("server", obs_src_);
+        if (reply_tx_.failed()) {
+            if (!jobs_.empty()) {
+                jobs_abandoned_ += jobs_.size();
+                jobs_.clear();
+            }
+            return 0;
+        }
+        while (!jobs_.empty() && jobs_.front().finished) jobs_.pop_front();
+        if (jobs_.empty()) return 0;
+        reply_job& job = jobs_.front();
+        const std::size_t wire =
+            rpc::layout_reply(next_payload_len(job)).wire_bytes;
+        if (!send_next_reply(job)) return 0;
+        if (job.finished) jobs_.pop_front();
+        return wire;
+    }
+
+    // Wire size of the segment the next pump_one() would send (what a
+    // byte-metered scheduler charges before granting), 0 when idle/failed.
+    std::size_t next_wire_bytes() const {
+        if (reply_tx_.failed()) return 0;
+        for (const reply_job& job : jobs_) {
+            if (!job.finished) {
+                return rpc::layout_reply(next_payload_len(job)).wire_bytes;
+            }
+        }
+        return 0;
     }
 
     bool idle() const {
@@ -238,7 +303,12 @@ private:
         }
         if (job.copy >= request->copy_count) job.finished = true;
         jobs_.push_back(std::move(job));
-        pump();
+        if (auto_pump_) pump();
+    }
+
+    static std::size_t next_payload_len(const reply_job& job) {
+        return std::min<std::size_t>(job.file->size() - job.offset,
+                                     job.request.max_reply_payload);
     }
 
     // Sends the next segment of `job`; returns false when TCP is out of
@@ -286,6 +356,7 @@ private:
     send_workspace workspace_;
     byte_buffer request_staging_;
     std::deque<reply_job> jobs_;
+    bool auto_pump_ = true;
     path_counters tx_counters_;
     path_counters rx_counters_;
     std::uint64_t requests_served_ = 0;
@@ -300,8 +371,11 @@ private:
 template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
 class file_client {
 public:
+    // Unwired form: the caller routes packets to on_request_ack_packet /
+    // on_reply_packet; only the outbound pipes are attached here.
     file_client(const Mem& mem, const Cipher& cipher, virtual_clock& clock,
-                net::duplex_link& request_link, net::duplex_link& reply_link,
+                net::datagram_pipe& request_data_out,
+                net::datagram_pipe& reply_ack_out,
                 const tcp::connection_config& request_cfg,
                 const tcp::connection_config& reply_cfg, path_mode mode,
                 const retry_policy& retry = {})
@@ -311,25 +385,47 @@ public:
           clock_(&clock),
           policy_(retry),
           request_isn_(request_cfg.initial_seq),
-          request_tx_(mem, clock, request_link.forward(), request_cfg),
-          reply_rx_(mem, clock, reply_link.reverse(), reply_cfg),
+          request_tx_(mem, clock, request_data_out, request_cfg),
+          reply_rx_(mem, clock, reply_ack_out, reply_cfg),
           workspace_(net::datagram_pipe::max_packet_bytes) {
         request_tx_.set_attribution("client", obs_src_);
-        request_link.reverse().set_receiver(
-            [this](std::span<const std::byte> p) {
-                ILP_OBS_ATTR("client", obs_src_);
-                request_tx_.on_ack_packet(p);
-            });
-        reply_link.forward().set_receiver(
-            [this](std::span<const std::byte> p) {
-                ILP_OBS_ATTR("client", obs_src_);
-                reply_rx_.on_packet(p);
-            });
         reply_rx_.set_processor([this](std::span<std::byte> payload) {
             return process_reply(payload);
         });
         reply_rx_.set_accept_handler([this](std::size_t) { commit_reply(); });
     }
+
+    // Single-flow wiring: sole listener on both links.
+    file_client(const Mem& mem, const Cipher& cipher, virtual_clock& clock,
+                net::duplex_link& request_link, net::duplex_link& reply_link,
+                const tcp::connection_config& request_cfg,
+                const tcp::connection_config& reply_cfg, path_mode mode,
+                const retry_policy& retry = {})
+        : file_client(mem, cipher, clock, request_link.forward(),
+                      reply_link.reverse(), request_cfg, reply_cfg, mode,
+                      retry) {
+        request_link.reverse().set_receiver(
+            [this](std::span<const std::byte> p) {
+                on_request_ack_packet(p);
+            });
+        reply_link.forward().set_receiver(
+            [this](std::span<const std::byte> p) { on_reply_packet(p); });
+    }
+
+    // Packet entry points; attribution travels with them (they fire from
+    // delivery timers inside clock.advance()).
+    void on_request_ack_packet(std::span<const std::byte> p) {
+        ILP_OBS_ATTR("client", obs_src_);
+        request_tx_.on_ack_packet(p);
+    }
+    void on_reply_packet(std::span<const std::byte> p) {
+        ILP_OBS_ATTR("client", obs_src_);
+        reply_rx_.on_packet(p);
+    }
+
+    // Disarms pending TCP timers.  Required before destroying a client whose
+    // clock lives on (engine flow teardown): armed timers capture `this`.
+    void quiesce() { request_tx_.quiesce(); }
 
     // Sends the file request; returns false if it could not be queued.
     // The reply_isn field is overwritten: the first attempt always runs on

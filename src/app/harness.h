@@ -11,6 +11,7 @@
 #include <string>
 
 #include "app/file_transfer.h"
+#include "engine/shard.h"
 #include "memsim/memory_system.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
@@ -97,67 +98,47 @@ struct transfer_result {
 
 // Runs one transfer with the given memory policies (one per side — e.g. two
 // sim_memory instances over distinct memory systems, or two direct_memory).
+//
+// The transfer itself is a one-flow engine shard in legacy mode (see
+// engine/shard.h): the shard reproduces the historical wiring — fixed ports,
+// untagged fault streams, pump/poll/advance cadence — so this wrapper's
+// results are bit-identical to the pre-engine harness, while multi-flow
+// callers use engine::run_fleet over the same machinery.
 template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
 transfer_result run_transfer(const transfer_config& config,
                              const Mem& client_mem, const Mem& server_mem,
                              const Cipher& client_cipher,
                              const Cipher& server_cipher) {
-    virtual_clock clock;
-    // An installed tracer timestamps this run's spans on this run's clock.
-    if (obs::tracer* t = obs::tracer::current()) t->set_clock(&clock);
-    net::duplex_link request_link(clock, config.link_latency_us,
-                                  config.request_forward_faults,
-                                  config.request_reverse_faults);
-    net::duplex_link reply_link(clock, config.link_latency_us,
-                                config.forward_faults, config.reverse_faults);
+    engine::shard_options opts;
+    opts.legacy_single_flow = true;
+    opts.link_latency_us = config.link_latency_us;
+    opts.poll_step_us = config.poll_step_us;
+    opts.request_forward_faults = config.request_forward_faults;
+    opts.request_reverse_faults = config.request_reverse_faults;
+    opts.reply_forward_faults = config.forward_faults;
+    opts.reply_reverse_faults = config.reverse_faults;
+    engine::shard<Mem, Cipher> shard(0, opts, client_mem, server_mem);
 
-    tcp::connection_config request_cfg;
-    request_cfg.local_port = 5001;
-    request_cfg.remote_port = 5002;
-    request_cfg.zero_copy = config.zero_copy;
-    tcp::connection_config reply_cfg;
-    reply_cfg.zero_copy = config.zero_copy;
-    reply_cfg.local_port = 6001;
-    reply_cfg.remote_port = 6002;
-    reply_cfg.local_addr = 0x0a000002;  // server
-    reply_cfg.remote_addr = 0x0a000001;
-
-    file_store store;
-    store.add_random("testfile", config.file_bytes, config.file_seed);
-
-    file_server<Mem, Cipher> server(server_mem, server_cipher, clock,
-                                    request_link, reply_link,
-                                    tcp::mirrored(request_cfg), reply_cfg,
-                                    config.mode, store);
-    file_client<Mem, Cipher> client(client_mem, client_cipher, clock,
-                                    request_link, reply_link, request_cfg,
-                                    tcp::mirrored(reply_cfg), config.mode,
-                                    config.retry);
-
-    rpc::file_request request;
-    request.request_id = 7;
-    request.filename = "testfile";
-    request.copy_count = config.copies;
-    request.max_reply_payload = static_cast<std::uint32_t>(
-        rpc::max_payload_for_wire(config.packet_wire_bytes));
+    engine::flow_config fc;
+    fc.mode = config.mode;
+    fc.file_bytes = config.file_bytes;
+    fc.copies = config.copies;
+    fc.packet_wire_bytes = config.packet_wire_bytes;
+    fc.retry = config.retry;
+    fc.file_seed = config.file_seed;
+    fc.deadline_us = config.deadline_us;
+    fc.zero_copy = config.zero_copy;
 
     transfer_result result;
-    if (request.max_reply_payload == 0) return result;
-    if (!client.request_file(request)) return result;
+    if (!shard.open_flow(0, fc, client_cipher, server_cipher)) return result;
+    shard.run();
 
-    const sim_time start = clock.now();
-    // A failed server reply stream is no longer terminal: the client's
-    // retry machinery (poll) re-establishes connections and resumes.  The
-    // loop ends on completion, on the client exhausting its retry budget,
-    // or (belt-and-braces) on the deadline.
-    while (!client.done() && !client.failed() &&
-           clock.now() - start < config.deadline_us) {
-        server.pump();
-        client.poll();
-        clock.advance(config.poll_step_us);
-    }
-    result.completed = client.done();
-    result.elapsed_us = clock.now() - start;
+    file_client<Mem, Cipher>& client = shard.client(0);
+    file_server<Mem, Cipher>& server = shard.server(0);
+    net::duplex_link& reply_link = shard.reply_link();
+    const engine::flow_outcome& outcome = shard.outcome(0);
+    result.completed = outcome.completed;
+    result.elapsed_us = outcome.elapsed_us;
 
     // Aggregation across endpoints and connections is repeated add() into
     // one registry; the recovery_report below is just a view over it.
@@ -195,19 +176,8 @@ transfer_result run_transfer(const transfer_config& config,
     result.reply_ack_pipe = reply_link.reverse().stats();
     result.reply_messages = result.client_receive.messages;
 
-    if (result.completed) {
-        result.verified = true;
-        const std::vector<std::byte>* original = store.find("testfile");
-        for (std::uint32_t c = 0; c < config.copies; ++c) {
-            const auto received = client.copy_data(c);
-            if (received.size() != original->size() ||
-                (original->size() > 0 &&
-                 std::memcmp(received.data(), original->data(),
-                             original->size()) != 0)) {
-                result.verified = false;
-            }
-        }
-    }
+    // The shard already verified each received copy against the served file.
+    result.verified = outcome.verified;
     return result;
 }
 

@@ -1,0 +1,116 @@
+#include "engine/fleet.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ilp::engine {
+namespace {
+
+// FNV-1a over the bytes of each mixed-in 64-bit word.
+constexpr std::uint64_t fnv_offset = 14695981039346656037ull;
+constexpr std::uint64_t fnv_prime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= fnv_prime;
+    }
+}
+
+}  // namespace
+
+double fleet_report::aggregate_throughput_mbps() const {
+    if (max_elapsed_us == 0) return 0.0;
+    return static_cast<double>(payload_bytes) * 8.0 /
+           static_cast<double>(max_elapsed_us);
+}
+
+std::uint64_t fleet_report::digest() const {
+    // `flows` is sorted by finalize(), so the digest is independent of the
+    // shard iteration order that collected the outcomes.  Shard-dependent
+    // fields (shard index, scheduler grants, shared-queue drops) stay out:
+    // the digest states what happened *to* each flow, not where it ran.
+    std::uint64_t h = fnv_offset;
+    for (const flow_outcome& o : flows) {
+        mix(h, o.flow_id);
+        std::uint64_t flags = 0;
+        flags |= o.completed ? 1u : 0u;
+        flags |= o.verified ? 2u : 0u;
+        flags |= o.gave_up ? 4u : 0u;
+        flags |= o.deadline_exceeded ? 8u : 0u;
+        flags |= o.request_rejected ? 16u : 0u;
+        flags |= o.ports_exhausted ? 32u : 0u;
+        mix(h, flags);
+        mix(h, o.payload_bytes);
+        mix(h, o.elapsed_us);
+        mix(h, o.rpc_retries);
+        mix(h, o.tcp_retransmissions);
+    }
+    return h;
+}
+
+void fleet_report::finalize() {
+    std::sort(flows.begin(), flows.end(),
+              [](const flow_outcome& a, const flow_outcome& b) {
+                  return a.flow_id < b.flow_id;
+              });
+    completed = verified = failed = deadline_exceeded = 0;
+    payload_bytes = 0;
+    max_elapsed_us = 0;
+    for (const flow_outcome& o : flows) {
+        if (o.completed) ++completed;
+        if (o.verified) ++verified;
+        if (o.gave_up || o.request_rejected || o.ports_exhausted) ++failed;
+        if (o.deadline_exceeded) ++deadline_exceeded;
+        payload_bytes += o.payload_bytes;
+    }
+    for (const shard_summary& s : shards) {
+        max_elapsed_us = std::max(max_elapsed_us, s.elapsed_us);
+    }
+
+    metrics = obs::registry{};
+    metrics.add("engine.flows", flows.size());
+    metrics.add("engine.completed", completed);
+    metrics.add("engine.verified", verified);
+    metrics.add("engine.failed", failed);
+    metrics.add("engine.deadline_exceeded", deadline_exceeded);
+    metrics.add("engine.payload_bytes", payload_bytes);
+    metrics.add("engine.max_elapsed_us", max_elapsed_us);
+    metrics.set_gauge("engine.aggregate_throughput_mbps",
+                      aggregate_throughput_mbps());
+    obs::histogram& elapsed = metrics.hist("engine.flow_elapsed_us");
+    obs::histogram& bytes = metrics.hist("engine.flow_payload_bytes");
+    for (const flow_outcome& o : flows) {
+        metrics.add("engine.rpc_retries", o.rpc_retries);
+        metrics.add("engine.tcp_retransmissions", o.tcp_retransmissions);
+        metrics.add("engine.reply_packets_dropped", o.reply_packets_dropped);
+        metrics.add("engine.queue_dropped", o.queue_dropped);
+        elapsed.record(o.elapsed_us);
+        bytes.record(o.payload_bytes);
+    }
+    for (const shard_summary& s : shards) {
+        metrics.add("engine.net.reply_packets_sent", s.reply_data.packets_sent);
+        metrics.add("engine.net.reply_packets_delivered",
+                    s.reply_data.packets_delivered);
+        metrics.add("engine.net.reply_packets_dropped",
+                    s.reply_data.packets_dropped);
+        metrics.add("engine.net.reply_queue_dropped",
+                    s.reply_data.packets_queue_dropped +
+                        s.reply_ack.packets_queue_dropped);
+        metrics.add("engine.mem.client.accesses", s.client_mem.accesses());
+        metrics.add("engine.mem.client.l1d_misses", s.client_mem.l1d_misses);
+        metrics.add("engine.mem.client.cycles", s.client_mem.cycles);
+        metrics.add("engine.mem.server.accesses", s.server_mem.accesses());
+        metrics.add("engine.mem.server.l1d_misses", s.server_mem.l1d_misses);
+        metrics.add("engine.mem.server.cycles", s.server_mem.cycles);
+        const std::string prefix =
+            "engine.shard" + std::to_string(s.shard) + ".";
+        metrics.add(prefix + "flows", s.flows);
+        metrics.add(prefix + "completed", s.completed);
+        metrics.add(prefix + "elapsed_us", s.elapsed_us);
+        metrics.add(prefix + "mem_cycles",
+                    s.client_mem.cycles + s.server_mem.cycles);
+    }
+}
+
+}  // namespace ilp::engine

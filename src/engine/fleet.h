@@ -1,0 +1,197 @@
+// Fleet runner: shards a population of flows across workers and aggregates
+// one fleet_report.
+//
+// Flow f runs on shard f % shards.  Shards share nothing — each owns its
+// virtual clock, links, demuxes, ports, store and memory policies — so
+// `threaded` mode (one OS thread per shard) produces bit-identical per-flow
+// outcomes to the serial order; tests/engine_test.cpp pins that down with
+// fleet_report::digest().  Per-flow determinism goes further: because every
+// per-flow random stream (fault coins, cipher key) is seed-split by flow id,
+// the digest is also invariant under the shard *count* — re-packing flows
+// onto more workers changes which shared link a flow crosses but not what
+// happens to it (as long as the shared kernel queue is unbounded; a finite
+// shared queue couples co-located flows by design).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/shard.h"
+#include "memsim/configs.h"
+#include "obs/counters.h"
+#include "obs/registry.h"
+#include "util/rng.h"
+
+namespace ilp::engine {
+
+struct fleet_config {
+    std::uint32_t flows = 1;
+    std::uint32_t shards = 1;
+    // Run each shard on its own OS thread (shards stay deterministic: they
+    // share no state, and worker threads carry no tracer).
+    bool threaded = false;
+    sched_policy policy = sched_policy::round_robin;
+    std::size_t drr_quantum_bytes = 4096;
+    sim_time poll_step_us = 200;
+    sim_time link_latency_us = 100;
+    std::uint64_t key_seed = 0x22bb;
+    // Shared kernel-queue bound per pipe direction (0 = unbounded) and the
+    // per-flow fair-share cap inside it.
+    std::size_t kernel_queue_packets = 0;
+    std::size_t per_flow_queue_cap = 0;
+    flow_config defaults{};
+    // Per-flow override hook, applied to a copy of `defaults` before the
+    // flow opens (e.g. give 10% of flows a Gilbert–Elliott loss plan).
+    std::function<void(std::uint32_t, flow_config&)> per_flow{};
+};
+
+// Per-shard rollup: what the shard's shared reply link and its two memory
+// systems saw — the cache-contention view the per-flow outcomes can't give.
+struct shard_summary {
+    std::uint32_t shard = 0;
+    std::uint32_t flows = 0;
+    std::uint32_t completed = 0;
+    sim_time elapsed_us = 0;  // the shard clock's final reading
+    net::pipe_stats reply_data;
+    net::pipe_stats reply_ack;
+    obs::mem_counters client_mem;  // zero under direct_memory
+    obs::mem_counters server_mem;
+};
+
+struct fleet_report {
+    std::vector<flow_outcome> flows;  // sorted by flow id
+    std::vector<shard_summary> shards;
+    std::uint32_t completed = 0;
+    std::uint32_t verified = 0;
+    std::uint32_t failed = 0;  // gave_up + request_rejected + ports_exhausted
+    std::uint32_t deadline_exceeded = 0;
+    std::uint64_t payload_bytes = 0;
+    sim_time max_elapsed_us = 0;  // slowest shard's clock
+    // Aggregates under engine.* names, ready to merge into a bench report.
+    obs::registry metrics;
+
+    // Payload bits over the slowest shard's virtual time.
+    double aggregate_throughput_mbps() const;
+    // Order-independent fingerprint of every flow's outcome, excluding
+    // shard-dependent fields (shard index, scheduler grants, shared-queue
+    // drops).  Equal digests mean equal per-flow behaviour; the determinism,
+    // shard-invariance and threaded-parity tests all compare digests.
+    std::uint64_t digest() const;
+    // Sorts flows and computes the aggregate fields and metrics.
+    void finalize();
+};
+
+// Runs `cfg.flows` transfers to completion.  `shard_mems(s)` supplies shard
+// s's (client, server) memory-policy pair — the hook that gives every shard
+// its own memsim::memory_system in simulated runs.
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher,
+          typename MemFactory>
+fleet_report run_fleet(const fleet_config& cfg, MemFactory&& shard_mems) {
+    ILP_EXPECT(cfg.shards > 0);
+    shard_options opts;
+    opts.link_latency_us = cfg.link_latency_us;
+    opts.poll_step_us = cfg.poll_step_us;
+    opts.per_flow_queue_cap = cfg.per_flow_queue_cap;
+    opts.policy = cfg.policy;
+    opts.drr_quantum_bytes = cfg.drr_quantum_bytes;
+    if (cfg.kernel_queue_packets != 0) {
+        opts.request_forward_faults.max_queue_packets =
+            cfg.kernel_queue_packets;
+        opts.request_reverse_faults.max_queue_packets =
+            cfg.kernel_queue_packets;
+        opts.reply_forward_faults.max_queue_packets = cfg.kernel_queue_packets;
+        opts.reply_reverse_faults.max_queue_packets = cfg.kernel_queue_packets;
+    }
+
+    std::vector<std::unique_ptr<shard<Mem, Cipher>>> workers;
+    workers.reserve(cfg.shards);
+    for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+        auto mems = shard_mems(s);
+        workers.push_back(std::make_unique<shard<Mem, Cipher>>(
+            s, opts, mems.first, mems.second));
+    }
+
+    for (std::uint32_t f = 0; f < cfg.flows; ++f) {
+        flow_config fc = cfg.defaults;
+        if (cfg.per_flow) cfg.per_flow(f, fc);
+        // Per-flow cipher key from a flow-split stream: flow f's key is the
+        // same whatever shard it lands on.
+        std::array<std::byte, 8> key;
+        rng key_rng(derive_seed(cfg.key_seed, f));
+        key_rng.fill(key);
+        const Cipher cipher{std::span<const std::byte>(key)};
+        workers[f % cfg.shards]->open_flow(f, fc, cipher, cipher);
+    }
+
+    if (cfg.threaded && cfg.shards > 1) {
+        std::vector<std::thread> threads;
+        threads.reserve(workers.size());
+        for (auto& w : workers) {
+            threads.emplace_back([&w] { w->run(); });
+        }
+        for (auto& t : threads) t.join();
+    } else {
+        for (auto& w : workers) w->run();
+    }
+
+    fleet_report report;
+    report.shards.reserve(workers.size());
+    for (auto& w : workers) {
+        shard_summary s;
+        s.shard = w->index();
+        s.elapsed_us = w->clock().now();
+        s.reply_data = w->reply_link().forward().stats();
+        s.reply_ack = w->reply_link().reverse().stats();
+        if (const memsim::memory_system* sys =
+                obs::attribution_source(w->client_mem())) {
+            s.client_mem = obs::sample_counters(*sys);
+        }
+        if (const memsim::memory_system* sys =
+                obs::attribution_source(w->server_mem())) {
+            s.server_mem = obs::sample_counters(*sys);
+        }
+        for (const flow_outcome& o : w->outcomes()) {
+            ++s.flows;
+            if (o.completed) ++s.completed;
+            report.flows.push_back(o);
+        }
+        report.shards.push_back(s);
+    }
+    report.finalize();
+    return report;
+}
+
+// Native fleet: every side of every shard uses raw memory.
+template <crypto::block_cipher Cipher>
+fleet_report run_fleet_native(const fleet_config& cfg) {
+    return run_fleet<memsim::direct_memory, Cipher>(cfg, [](std::uint32_t) {
+        return std::pair<memsim::direct_memory, memsim::direct_memory>{};
+    });
+}
+
+// Simulated fleet: each shard gets its own pair of cache simulators (client
+// side, server side), so shard_summary reports per-shard cache contention.
+template <crypto::block_cipher Cipher>
+fleet_report run_fleet_simulated(const fleet_config& cfg,
+                                 const memsim::memory_system_config& mc) {
+    std::vector<std::unique_ptr<memsim::memory_system>> systems;
+    systems.reserve(static_cast<std::size_t>(cfg.shards) * 2);
+    for (std::uint32_t s = 0; s < cfg.shards; ++s) {
+        systems.push_back(std::make_unique<memsim::memory_system>(mc));
+        systems.push_back(std::make_unique<memsim::memory_system>(mc));
+    }
+    return run_fleet<memsim::sim_memory, Cipher>(cfg, [&](std::uint32_t s) {
+        return std::pair<memsim::sim_memory, memsim::sim_memory>(
+            memsim::sim_memory(*systems[2 * s]),
+            memsim::sim_memory(*systems[2 * s + 1]));
+    });
+}
+
+}  // namespace ilp::engine

@@ -1,0 +1,449 @@
+// One worker shard of the multi-flow engine.
+//
+// A shard owns everything its flows touch — a virtual clock, one request
+// and one reply duplex link, four port demultiplexers (one per pipe
+// direction), a port allocator, a file store and the flow table — so shards
+// share *nothing* and can run serially on one thread or each on its own OS
+// thread with identical results: flows are deterministic on their shard's
+// virtual clock.
+//
+// Scheduler round (tick): visit every live flow in flow-id order, let the
+// service policy (engine/scheduler.h) meter the server's segment
+// transmissions, poll the client's retry machinery, advance the clock one
+// poll step, then reap flows that completed, failed explicitly, or hit
+// their per-flow deadline.  Reaped flows quiesce their TCP timers (armed
+// timers capture endpoint pointers), unbind their demux routes and return
+// their ports to the allocator; their endpoints and outcome stay readable
+// until the shard dies.
+//
+// Legacy mode (`shard_options::legacy_single_flow`) reproduces the
+// historical single-flow harness exactly: fixed ports 5001/5002/6001/6002,
+// untagged sends (tag 0, the pipes' legacy RNG stream), direct pipe
+// receivers instead of demuxes, and the pump()/poll()/advance() cadence —
+// app::run_transfer is a thin wrapper over a one-flow shard.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/file_transfer.h"
+#include "engine/flow.h"
+#include "engine/scheduler.h"
+#include "net/demux.h"
+#include "obs/tracer.h"
+#include "rpc/messages.h"
+#include "util/contracts.h"
+
+namespace ilp::engine {
+
+struct shard_options {
+    sim_time link_latency_us = 100;
+    sim_time poll_step_us = 200;
+    // Pipe-level fault plans (request forward/reverse, reply
+    // forward/reverse).  In engine mode these normally carry only the
+    // shared kernel-queue bound; per-flow plans install per tag.  Legacy
+    // mode routes the transfer_config fault plans through here verbatim.
+    net::fault_config request_forward_faults{};
+    net::fault_config request_reverse_faults{};
+    net::fault_config reply_forward_faults{};
+    net::fault_config reply_reverse_faults{};
+    // Fair-share bound per flow inside the shared kernel queue (0 = off).
+    std::size_t per_flow_queue_cap = 0;
+    sched_policy policy = sched_policy::round_robin;
+    std::size_t drr_quantum_bytes = 4096;
+    // Local-port range the allocator hands flows (4 ports per flow).
+    std::uint16_t first_port = 10'000;
+    std::uint16_t last_port = 59'999;
+    bool legacy_single_flow = false;
+};
+
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
+class shard {
+public:
+    shard(std::uint32_t index, const shard_options& opts,
+          const Mem& client_mem, const Mem& server_mem)
+        : index_(index),
+          opts_(opts),
+          client_mem_(client_mem),
+          server_mem_(server_mem),
+          scheduler_(opts.policy, opts.drr_quantum_bytes),
+          request_link_(clock_, opts.link_latency_us,
+                        opts.request_forward_faults,
+                        opts.request_reverse_faults),
+          reply_link_(clock_, opts.link_latency_us, opts.reply_forward_faults,
+                      opts.reply_reverse_faults),
+          ports_(opts.first_port, opts.last_port) {
+        // An installed tracer timestamps this shard's spans on this shard's
+        // clock (worker threads carry no tracer; the macros no-op there).
+        if (obs::tracer* t = obs::tracer::current()) t->set_clock(&clock_);
+        if (!opts_.legacy_single_flow) {
+            request_link_.forward().set_receiver(
+                request_fwd_demux_.receiver());
+            request_link_.reverse().set_receiver(
+                request_rev_demux_.receiver());
+            reply_link_.forward().set_receiver(reply_fwd_demux_.receiver());
+            reply_link_.reverse().set_receiver(reply_rev_demux_.receiver());
+            if (opts_.per_flow_queue_cap != 0) {
+                request_link_.forward().set_per_tag_queue_cap(
+                    opts_.per_flow_queue_cap);
+                request_link_.reverse().set_per_tag_queue_cap(
+                    opts_.per_flow_queue_cap);
+                reply_link_.forward().set_per_tag_queue_cap(
+                    opts_.per_flow_queue_cap);
+                reply_link_.reverse().set_per_tag_queue_cap(
+                    opts_.per_flow_queue_cap);
+            }
+        }
+    }
+
+    shard(const shard&) = delete;
+    shard& operator=(const shard&) = delete;
+
+    // Opens flow `id`: allocates its four local ports, binds its demux
+    // routes, installs its per-flow fault plans, constructs the endpoint
+    // pair and issues the file request.  Returns false — with an explicit
+    // outcome recorded — when the port range is exhausted or the request
+    // cannot be issued.
+    bool open_flow(std::uint32_t id, const flow_config& cfg,
+                   const Cipher& client_cipher, const Cipher& server_cipher) {
+        ILP_EXPECT(table_.find(id) == table_.end());
+        auto holder =
+            std::make_unique<flow_entry>(client_cipher, server_cipher);
+        flow_entry& e = *holder;
+        e.id = id;
+        e.tag = opts_.legacy_single_flow ? 0 : id + 1;
+        e.cfg = cfg;
+        e.outcome.flow_id = id;
+        e.outcome.shard = index_;
+        if (opts_.legacy_single_flow) {
+            e.file = "testfile";
+        } else {
+            // (push_back, not `= "f"`: dodges a GCC 12 -Wrestrict false
+            // positive in the string assignment fast path.)
+            e.file.push_back('f');
+            e.file += std::to_string(id);
+        }
+        store_.add_random(e.file, cfg.file_bytes, cfg.file_seed);
+
+        tcp::connection_config request_cfg;
+        tcp::connection_config reply_cfg;
+        reply_cfg.local_addr = 0x0a000002;  // server
+        reply_cfg.remote_addr = 0x0a000001;
+        request_cfg.zero_copy = reply_cfg.zero_copy = cfg.zero_copy;
+        request_cfg.net_tag = reply_cfg.net_tag = e.tag;
+        if (opts_.legacy_single_flow) {
+            request_cfg.local_port = 5001;
+            request_cfg.remote_port = 5002;
+            reply_cfg.local_port = 6001;
+            reply_cfg.remote_port = 6002;
+        } else {
+            if (!allocate_ports(e)) {
+                e.finished = true;
+                e.outcome.ports_exhausted = true;
+                table_.emplace(id, std::move(holder));
+                return false;
+            }
+            request_cfg.local_port = e.ports[port_client_request];
+            request_cfg.remote_port = e.ports[port_server_request];
+            reply_cfg.local_port = e.ports[port_server_reply];
+            reply_cfg.remote_port = e.ports[port_client_reply];
+            // Per-flow fault plans on the flow's own tag stream.
+            request_link_.forward().configure_tag(e.tag,
+                                                  cfg.request_forward_faults);
+            request_link_.reverse().configure_tag(e.tag,
+                                                  cfg.request_reverse_faults);
+            reply_link_.forward().configure_tag(e.tag, cfg.forward_faults);
+            reply_link_.reverse().configure_tag(e.tag, cfg.reverse_faults);
+        }
+
+        if (opts_.legacy_single_flow) {
+            e.server = std::make_unique<app::file_server<Mem, Cipher>>(
+                server_mem_, e.server_cipher, clock_, request_link_,
+                reply_link_, tcp::mirrored(request_cfg), reply_cfg, cfg.mode,
+                store_);
+            e.client = std::make_unique<app::file_client<Mem, Cipher>>(
+                client_mem_, e.client_cipher, clock_, request_link_,
+                reply_link_, request_cfg, tcp::mirrored(reply_cfg), cfg.mode,
+                cfg.retry);
+        } else {
+            e.server = std::make_unique<app::file_server<Mem, Cipher>>(
+                server_mem_, e.server_cipher, clock_, request_link_.reverse(),
+                reply_link_.forward(), tcp::mirrored(request_cfg), reply_cfg,
+                cfg.mode, store_);
+            e.client = std::make_unique<app::file_client<Mem, Cipher>>(
+                client_mem_, e.client_cipher, clock_, request_link_.forward(),
+                reply_link_.reverse(), request_cfg, tcp::mirrored(reply_cfg),
+                cfg.mode, cfg.retry);
+            // Engine flows are serviced only through the scheduler: the
+            // ACK handler must not bypass the meter (and serviced_bytes
+            // must account every data segment).
+            e.server->set_auto_pump(false);
+            bind_routes(e);
+        }
+
+        rpc::file_request request;
+        request.request_id = 7 + id;
+        request.filename = e.file;
+        request.copy_count = cfg.copies;
+        request.max_reply_payload = static_cast<std::uint32_t>(
+            rpc::max_payload_for_wire(cfg.packet_wire_bytes));
+        e.started_at = clock_.now();
+        bool issued = false;
+        if (request.max_reply_payload != 0) {
+            obs::scoped_flow flow_scope(opts_.legacy_single_flow
+                                            ? -1
+                                            : static_cast<std::int64_t>(id));
+            issued = e.client->request_file(request);
+        }
+        if (!issued) {
+            e.finished = true;
+            e.outcome.request_rejected = true;
+            teardown(e);
+        } else {
+            ++active_;
+        }
+        table_.emplace(id, std::move(holder));
+        return issued;
+    }
+
+    // Finishes a flow early (lifecycle teardown).  The outcome records
+    // whatever state the flow reached; ports and routes are recycled.
+    void close_flow(std::uint32_t id) {
+        const auto it = table_.find(id);
+        ILP_EXPECT(it != table_.end());
+        if (!it->second->finished) finish(*it->second, false);
+    }
+
+    // Runs every open flow to its terminal outcome.
+    void run() {
+        if (obs::tracer* t = obs::tracer::current()) t->set_clock(&clock_);
+        while (active_ > 0) tick();
+    }
+
+    // One scheduler round; exposed so tests can single-step.
+    void tick() {
+        for (auto& [id, entry] : table_) {
+            if (!entry->finished) service(*entry);
+        }
+        clock_.advance(opts_.poll_step_us);
+        for (auto& [id, entry] : table_) {
+            flow_entry& e = *entry;
+            if (e.finished) continue;
+            const bool deadline =
+                clock_.now() - e.started_at >= e.cfg.deadline_us;
+            if (e.client->done() || e.client->failed() || deadline) {
+                finish(e, deadline);
+            }
+        }
+    }
+
+    // --- introspection ---------------------------------------------------
+    std::uint32_t index() const noexcept { return index_; }
+    virtual_clock& clock() noexcept { return clock_; }
+    net::duplex_link& request_link() noexcept { return request_link_; }
+    net::duplex_link& reply_link() noexcept { return reply_link_; }
+    const app::file_store& store() const noexcept { return store_; }
+    std::size_t flows() const noexcept { return table_.size(); }
+    std::size_t active_flows() const noexcept { return active_; }
+    const net::port_allocator& ports() const noexcept { return ports_; }
+    const net::port_demux& reply_data_demux() const noexcept {
+        return reply_fwd_demux_;
+    }
+    const net::port_demux& request_data_demux() const noexcept {
+        return request_fwd_demux_;
+    }
+
+    app::file_client<Mem, Cipher>& client(std::uint32_t id) {
+        return *entry(id).client;
+    }
+    app::file_server<Mem, Cipher>& server(std::uint32_t id) {
+        return *entry(id).server;
+    }
+    const flow_outcome& outcome(std::uint32_t id) const {
+        const auto it = table_.find(id);
+        ILP_EXPECT(it != table_.end());
+        return it->second->outcome;
+    }
+    std::uint64_t serviced_bytes(std::uint32_t id) const {
+        const auto it = table_.find(id);
+        ILP_EXPECT(it != table_.end());
+        return it->second->serviced_bytes;
+    }
+    std::vector<flow_outcome> outcomes() const {
+        std::vector<flow_outcome> out;
+        out.reserve(table_.size());
+        for (const auto& [id, e] : table_) out.push_back(e->outcome);
+        return out;
+    }
+    const Mem& client_mem() const noexcept { return client_mem_; }
+    const Mem& server_mem() const noexcept { return server_mem_; }
+
+private:
+    // e.ports slots; each of the four pipe directions has its own demux, so
+    // distinct slots guarantee bind() can never conflict.
+    static constexpr std::size_t port_client_request = 0;
+    static constexpr std::size_t port_server_request = 1;
+    static constexpr std::size_t port_client_reply = 2;
+    static constexpr std::size_t port_server_reply = 3;
+
+    struct flow_entry {
+        flow_entry(const Cipher& cc, const Cipher& sc)
+            : client_cipher(cc), server_cipher(sc) {}
+        std::uint32_t id = 0;
+        std::uint32_t tag = 0;
+        flow_config cfg;
+        Cipher client_cipher;  // stable storage: endpoints keep pointers
+        Cipher server_cipher;
+        std::string file;
+        std::array<std::uint16_t, 4> ports{};
+        std::unique_ptr<app::file_server<Mem, Cipher>> server;
+        std::unique_ptr<app::file_client<Mem, Cipher>> client;
+        sim_time started_at = 0;
+        sched_state sched;
+        std::uint64_t serviced_bytes = 0;
+        bool finished = false;
+        flow_outcome outcome;
+    };
+
+    flow_entry& entry(std::uint32_t id) {
+        const auto it = table_.find(id);
+        ILP_EXPECT(it != table_.end());
+        return *it->second;
+    }
+
+    bool allocate_ports(flow_entry& e) {
+        std::size_t n = 0;
+        for (; n < e.ports.size(); ++n) {
+            const std::optional<std::uint16_t> p = ports_.allocate();
+            if (!p.has_value()) break;
+            e.ports[n] = *p;
+        }
+        if (n == e.ports.size()) return true;
+        // Partial allocation on exhaustion: give the ports back.
+        for (std::size_t i = 0; i < n; ++i) ports_.release(e.ports[i]);
+        return false;
+    }
+
+    void bind_routes(flow_entry& e) {
+        flow_entry* ep = &e;
+        bool ok = request_fwd_demux_.bind(
+            e.ports[port_server_request], [ep](std::span<const std::byte> p) {
+                obs::scoped_flow flow_scope(ep->id);
+                ep->server->on_request_packet(p);
+            });
+        ok = request_rev_demux_.bind(e.ports[port_client_request],
+                                     [ep](std::span<const std::byte> p) {
+                                         obs::scoped_flow flow_scope(ep->id);
+                                         ep->client->on_request_ack_packet(p);
+                                     }) &&
+             ok;
+        ok = reply_fwd_demux_.bind(e.ports[port_client_reply],
+                                   [ep](std::span<const std::byte> p) {
+                                       obs::scoped_flow flow_scope(ep->id);
+                                       ep->client->on_reply_packet(p);
+                                   }) &&
+             ok;
+        ok = reply_rev_demux_.bind(e.ports[port_server_reply],
+                                   [ep](std::span<const std::byte> p) {
+                                       obs::scoped_flow flow_scope(ep->id);
+                                       ep->server->on_reply_ack_packet(p);
+                                   }) &&
+             ok;
+        ILP_ENSURE(ok);  // freshly allocated ports cannot conflict
+    }
+
+    void service(flow_entry& e) {
+        if (opts_.legacy_single_flow) {
+            e.server->pump();
+            e.client->poll();
+            return;
+        }
+        obs::scoped_flow flow_scope(e.id);
+        scheduler_.begin_visit(e.sched, e.server->next_wire_bytes());
+        for (;;) {
+            const std::size_t wire = e.server->next_wire_bytes();
+            if (!scheduler_.grant(e.sched, wire)) break;
+            const std::size_t sent = e.server->pump_one();
+            if (sent == 0) break;  // TCP window/buffer blocked
+            scheduler_.charge(e.sched, sent);
+            e.serviced_bytes += sent;
+        }
+        e.client->poll();
+    }
+
+    void finish(flow_entry& e, bool deadline_hit) {
+        e.finished = true;
+        --active_;
+        flow_outcome& o = e.outcome;
+        o.completed = e.client->done();
+        o.gave_up = e.client->failed() && !o.completed;
+        o.deadline_exceeded = deadline_hit && !o.completed && !o.gave_up;
+        o.elapsed_us = clock_.now() - e.started_at;
+        o.payload_bytes = e.client->bytes_received();
+        o.rpc_retries = e.client->recovery().retries;
+        o.tcp_retransmissions = e.server->reply_tcp_stats().retransmissions;
+        o.serviced_bytes = e.serviced_bytes;
+        if (e.tag != 0) {
+            const net::tag_stats fwd =
+                reply_link_.forward().stats_for_tag(e.tag);
+            const net::tag_stats rev =
+                reply_link_.reverse().stats_for_tag(e.tag);
+            o.reply_packets_dropped = fwd.packets_dropped;
+            o.queue_dropped =
+                fwd.packets_queue_dropped + rev.packets_queue_dropped;
+        }
+        if (o.completed) {
+            o.verified = true;
+            const std::vector<std::byte>* original = store_.find(e.file);
+            for (std::uint32_t c = 0; c < e.cfg.copies; ++c) {
+                const auto received = e.client->copy_data(c);
+                if (received.size() != original->size() ||
+                    (original->size() > 0 &&
+                     std::memcmp(received.data(), original->data(),
+                                 original->size()) != 0)) {
+                    o.verified = false;
+                }
+            }
+        }
+        teardown(e);
+    }
+
+    // Recycles the flow's routes, ports and timers.  Endpoint state stays
+    // readable (stats, received data) until the shard dies; late packets
+    // addressed to the recycled ports count as no-listener drops.
+    void teardown(flow_entry& e) {
+        e.client->quiesce();
+        e.server->quiesce();
+        if (opts_.legacy_single_flow) return;
+        request_fwd_demux_.unbind(e.ports[port_server_request]);
+        request_rev_demux_.unbind(e.ports[port_client_request]);
+        reply_fwd_demux_.unbind(e.ports[port_client_reply]);
+        reply_rev_demux_.unbind(e.ports[port_server_reply]);
+        for (const std::uint16_t p : e.ports) ports_.release(p);
+    }
+
+    std::uint32_t index_;
+    shard_options opts_;
+    Mem client_mem_;
+    Mem server_mem_;
+    flow_scheduler scheduler_;
+    virtual_clock clock_;  // declared before the links: they capture it
+    net::duplex_link request_link_;
+    net::duplex_link reply_link_;
+    net::port_demux request_fwd_demux_;  // -> server request receivers
+    net::port_demux request_rev_demux_;  // -> client request-ACK handlers
+    net::port_demux reply_fwd_demux_;    // -> client reply receivers
+    net::port_demux reply_rev_demux_;    // -> server reply-ACK handlers
+    net::port_allocator ports_;
+    app::file_store store_;
+    std::map<std::uint32_t, std::unique_ptr<flow_entry>> table_;
+    std::size_t active_ = 0;
+};
+
+}  // namespace ilp::engine

@@ -12,88 +12,138 @@ datagram_pipe::datagram_pipe(virtual_clock& clock, sim_time latency_us,
     : clock_(&clock),
       latency_us_(latency_us),
       faults_(faults),
-      rng_(faults.seed),
+      untagged_(faults, faults.seed),
       kernel_staging_(max_packet_bytes),
       deliver_buffer_(max_packet_bytes) {}
+
+void datagram_pipe::configure_tag(std::uint32_t tag,
+                                  const fault_config& faults) {
+    ILP_EXPECT(tag != 0);
+    tagged_.insert_or_assign(
+        tag, fault_state(faults, derive_seed(faults.seed, tag)));
+}
+
+datagram_pipe::fault_state& datagram_pipe::state_for(std::uint32_t tag) {
+    if (tag == 0) return untagged_;
+    const auto it = tagged_.find(tag);
+    if (it != tagged_.end()) return it->second;
+    // Unconfigured tag: inherit the pipe-level plan on the tag's own stream.
+    return tagged_
+        .emplace(tag, fault_state(faults_, derive_seed(faults_.seed, tag)))
+        .first->second;
+}
+
+tag_stats datagram_pipe::stats_for_tag(std::uint32_t tag) const {
+    if (tag == 0) return untagged_.stats;
+    const auto it = tagged_.find(tag);
+    return it == tagged_.end() ? tag_stats{} : it->second.stats;
+}
+
+std::size_t datagram_pipe::in_flight_for(std::uint32_t tag) const {
+    if (tag == 0) return untagged_.stats.in_flight;
+    const auto it = tagged_.find(tag);
+    return it == tagged_.end() ? 0 : it->second.stats.in_flight;
+}
 
 // Decides whether the packet is lost before it reaches the in-flight queue,
 // applying the loss causes in plan order: scheduled outage (clock-driven,
 // no RNG draw), then the Gilbert–Elliott burst state, then the independent
 // Bernoulli coin.  Burst and truncation draws only happen when configured,
 // so legacy fault configs replay the exact same RNG stream as before.
-bool datagram_pipe::lose_packet() {
+bool datagram_pipe::lose_packet(fault_state& fs) {
     const sim_time now = clock_->now();
-    for (const outage_window& w : faults_.outages) {
+    for (const outage_window& w : fs.faults.outages) {
         if (now >= w.start_us && now < w.end_us) {
             ++stats_.packets_dropped;
             ++stats_.packets_outage_dropped;
+            ++fs.stats.packets_dropped;
             ILP_OBS_INSTANT("net", "drop_outage");
             return true;
         }
     }
-    if (faults_.burst.enabled) {
-        const double flip = burst_bad_ ? faults_.burst.p_bad_to_good
-                                       : faults_.burst.p_good_to_bad;
-        if (rng_.next_bool(flip)) burst_bad_ = !burst_bad_;
+    if (fs.faults.burst.enabled) {
+        const double flip = fs.burst_bad ? fs.faults.burst.p_bad_to_good
+                                         : fs.faults.burst.p_good_to_bad;
+        if (fs.coin.next_bool(flip)) fs.burst_bad = !fs.burst_bad;
         const double loss =
-            burst_bad_ ? faults_.burst.bad_loss : faults_.burst.good_loss;
-        if (rng_.next_bool(loss)) {
+            fs.burst_bad ? fs.faults.burst.bad_loss : fs.faults.burst.good_loss;
+        if (fs.coin.next_bool(loss)) {
             ++stats_.packets_dropped;
-            if (burst_bad_) ++stats_.packets_burst_dropped;
+            if (fs.burst_bad) ++stats_.packets_burst_dropped;
+            ++fs.stats.packets_dropped;
             ILP_OBS_INSTANT("net", "drop_burst");
             return true;
         }
     }
-    if (rng_.next_bool(faults_.drop_probability)) {
+    if (fs.coin.next_bool(fs.faults.drop_probability)) {
         ++stats_.packets_dropped;
+        ++fs.stats.packets_dropped;
         ILP_OBS_INSTANT("net", "drop_random");
         return true;
     }
     return false;
 }
 
-void datagram_pipe::enqueue(std::size_t bytes) {
+void datagram_pipe::enqueue(std::size_t bytes, std::uint32_t tag) {
     ILP_OBS_SPAN("net", "enqueue");
     ++stats_.packets_sent;
     ++stats_.send_crossings;
     stats_.bytes_sent += bytes;
+    fault_state& fs = state_for(tag);
+    ++fs.stats.packets_sent;
 
-    if (lose_packet()) return;
+    if (lose_packet(fs)) return;
 
-    const int copies = rng_.next_bool(faults_.duplicate_probability) ? 2 : 1;
+    const int copies = fs.coin.next_bool(fs.faults.duplicate_probability) ? 2 : 1;
     if (copies == 2) ++stats_.packets_duplicated;
 
     for (int c = 0; c < copies; ++c) {
+        // Fair-share cap first: a flow already holding its share of the
+        // shared queue loses the packet even if the queue has room, so a
+        // pathological flow cannot crowd everyone else out.
+        if (tag != 0 && per_tag_queue_cap_ != 0 &&
+            fs.stats.in_flight >= per_tag_queue_cap_) {
+            ++stats_.packets_dropped;
+            ++stats_.packets_queue_dropped;
+            ++fs.stats.packets_dropped;
+            ++fs.stats.packets_queue_dropped;
+            ILP_OBS_INSTANT("net", "drop_queue_share");
+            continue;
+        }
         // Finite kernel queue: tail drop when the link is saturated.
         if (faults_.max_queue_packets != 0 &&
             queue_.size() >= faults_.max_queue_packets) {
             ++stats_.packets_dropped;
             ++stats_.packets_queue_dropped;
+            ++fs.stats.packets_dropped;
+            ++fs.stats.packets_queue_dropped;
             ILP_OBS_INSTANT("net", "drop_queue");
             continue;
         }
         in_flight_packet pkt;
+        pkt.tag = tag;
         pkt.data.assign(kernel_staging_.data(), kernel_staging_.data() + bytes);
-        if (rng_.next_bool(faults_.corrupt_probability)) {
+        if (fs.coin.next_bool(fs.faults.corrupt_probability)) {
             ++stats_.packets_corrupted;
             ILP_OBS_INSTANT("net", "corrupt");
-            const std::size_t victim = rng_.next_below(pkt.data.size());
+            const std::size_t victim = fs.coin.next_below(pkt.data.size());
             pkt.data[victim] ^= static_cast<std::byte>(
-                1u << rng_.next_below(8));
+                1u << fs.coin.next_below(8));
         }
-        if (faults_.truncate_probability > 0 && bytes > 1 &&
-            rng_.next_bool(faults_.truncate_probability)) {
+        if (fs.faults.truncate_probability > 0 && bytes > 1 &&
+            fs.coin.next_bool(fs.faults.truncate_probability)) {
             ++stats_.packets_truncated;
-            pkt.data.resize(1 + rng_.next_below(bytes - 1));
+            pkt.data.resize(1 + fs.coin.next_below(bytes - 1));
         }
         sim_time deliver_at = clock_->now() + latency_us_;
-        if (rng_.next_bool(faults_.reorder_probability)) {
+        if (fs.coin.next_bool(fs.faults.reorder_probability)) {
             ++stats_.packets_reordered;
             // Hold the packet long enough that a later send overtakes it.
             deliver_at += 2 * latency_us_ + 1;
         }
         pkt.deliver_at = deliver_at;
         queue_.push_back(std::move(pkt));
+        ++fs.stats.in_flight;
         clock_->schedule_at(deliver_at, [this] { deliver_due(); });
     }
 }
@@ -114,6 +164,10 @@ void datagram_pipe::deliver_due() {
 
         const std::size_t n = it->data.size();
         std::memcpy(deliver_buffer_.data(), it->data.data(), n);
+        fault_state& fs = state_for(it->tag);
+        ILP_EXPECT(fs.stats.in_flight > 0);
+        --fs.stats.in_flight;
+        ++fs.stats.packets_delivered;
         queue_.erase(it);
         ++stats_.packets_delivered;
         ++stats_.deliver_crossings;

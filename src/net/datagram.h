@@ -19,6 +19,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -91,11 +92,32 @@ struct pipe_stats {
     std::uint64_t deliver_crossings = 0;
 };
 
+// Per-tag view of the shared queue: one logical flow's share of the pipe.
+// The multi-flow engine tags every send with the flow's id, so the kernel
+// queue can account (and bound) each flow's occupancy and the fault plan can
+// draw each flow's coins from its own RNG stream.
+struct tag_stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t packets_dropped = 0;        // all loss causes combined
+    std::uint64_t packets_queue_dropped = 0;  // shared queue / fair-share cap
+    std::size_t in_flight = 0;
+};
+
 // One direction of a link.  Packets are copied into a kernel staging buffer
 // through the sender's memory policy (the send-side system copy), queued
 // with the configured latency, and handed to the receiver as a span of
 // kernel memory (the receive-side system copy is the receiver's duty,
 // matching Fig. 5 step 1).
+//
+// Multi-flow use: several connections share one pipe, distinguished by a
+// send *tag* (0 = untagged, the single-flow legacy path).  Each tag gets its
+// own fault plan and RNG stream — seeded derive_seed(seed, tag) — so one
+// flow's loss pattern depends only on its own packet sequence, never on how
+// other flows' packets interleave on the shared link.  The finite kernel
+// queue stays shared (faults_.max_queue_packets), with an optional per-tag
+// fair-share cap so one retransmit-happy flow cannot occupy the whole queue
+// and starve the rest.
 class datagram_pipe {
 public:
     static constexpr std::size_t max_packet_bytes = 8 * 1024;
@@ -113,19 +135,21 @@ public:
     // kernel staging buffer through `mem`.
     template <memsim::memory_policy Mem>
     void send(const Mem& mem,
-              std::initializer_list<std::span<const std::byte>> parts) {
+              std::initializer_list<std::span<const std::byte>> parts,
+              std::uint32_t tag = 0) {
         std::size_t total = 0;
         for (const auto part : parts) {
             ILP_EXPECT(total + part.size() <= max_packet_bytes);
             mem.copy(kernel_staging_.data() + total, part.data(), part.size());
             total += part.size();
         }
-        enqueue(total);
+        enqueue(total, tag);
     }
 
     template <memsim::memory_policy Mem>
-    void send(const Mem& mem, std::span<const std::byte> packet) {
-        send(mem, {packet});
+    void send(const Mem& mem, std::span<const std::byte> packet,
+              std::uint32_t tag = 0) {
+        send(mem, {packet}, tag);
     }
 
     // Zero-copy send: models an fbufs/zero-copy network adapter (the
@@ -133,7 +157,8 @@ public:
     // protocol buffer — no counted system copy, the crossing still happens.
     // §4.1: "Using more advanced systems, e.g. zero-copy network adapters
     // ... could raise the benefits from ILP further."
-    void send_zero_copy(std::initializer_list<std::span<const std::byte>> parts) {
+    void send_zero_copy(std::initializer_list<std::span<const std::byte>> parts,
+                        std::uint32_t tag = 0) {
         std::size_t total = 0;
         for (const auto part : parts) {
             ILP_EXPECT(total + part.size() <= max_packet_bytes);
@@ -141,7 +166,19 @@ public:
                         part.size());
             total += part.size();
         }
-        enqueue(total);
+        enqueue(total, tag);
+    }
+
+    // Installs a fault plan for one tag (tag != 0).  Without this, a tagged
+    // send inherits the pipe-level plan; either way the tag's coins come
+    // from its own derive_seed(seed, tag) stream.
+    void configure_tag(std::uint32_t tag, const fault_config& faults);
+
+    // Fair-share bound on the shared queue: a tagged packet arriving while
+    // its tag already has `cap` packets in flight is queue-dropped even if
+    // the shared queue has room.  0 disables the cap.
+    void set_per_tag_queue_cap(std::size_t cap) noexcept {
+        per_tag_queue_cap_ = cap;
     }
 
     // Delivers every packet whose latency has elapsed (called by the clock's
@@ -150,21 +187,39 @@ public:
 
     const pipe_stats& stats() const noexcept { return stats_; }
     std::size_t in_flight() const noexcept { return queue_.size(); }
+    // Per-tag accounting; zeroed stats for a tag never seen.
+    tag_stats stats_for_tag(std::uint32_t tag) const;
+    std::size_t in_flight_for(std::uint32_t tag) const;
 
 private:
     struct in_flight_packet {
         std::vector<std::byte> data;
         sim_time deliver_at;
+        std::uint32_t tag = 0;
     };
 
-    void enqueue(std::size_t bytes);
-    bool lose_packet();  // outage / queue / burst / Bernoulli verdict
+    // Fault-plan state of one coin stream (the untagged legacy stream or one
+    // tag's stream).
+    struct fault_state {
+        fault_config faults;
+        rng coin;
+        bool burst_bad = false;  // Gilbert–Elliott state
+        tag_stats stats;
+        fault_state(const fault_config& f, std::uint64_t seed)
+            : faults(f), coin(seed) {}
+    };
+
+    void enqueue(std::size_t bytes, std::uint32_t tag);
+    // Outage / burst / Bernoulli verdict against one stream's plan.
+    bool lose_packet(fault_state& fs);
+    fault_state& state_for(std::uint32_t tag);
 
     virtual_clock* clock_;
     sim_time latency_us_;
     fault_config faults_;
-    bool burst_bad_ = false;  // Gilbert–Elliott state
-    rng rng_;
+    fault_state untagged_;
+    std::map<std::uint32_t, fault_state> tagged_;
+    std::size_t per_tag_queue_cap_ = 0;
     handler on_packet_;
     byte_buffer kernel_staging_;  // send-side kernel buffer (system copy dst)
     byte_buffer deliver_buffer_;  // receive-side kernel buffer (DMA target)

@@ -14,9 +14,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <span>
+#include <vector>
 
 #include "tcp/header.h"
+#include "util/contracts.h"
 #include "util/endian.h"
 
 namespace ilp::net {
@@ -25,9 +28,21 @@ class port_demux {
 public:
     using handler = std::function<void(std::span<const std::byte>)>;
 
-    // Binds `on_packet` to segments addressed to `port`.  Rebinding a bound
-    // port replaces the handler (connection restart).
-    void bind(std::uint16_t port, handler on_packet) {
+    // Binds `on_packet` to segments addressed to `port`.  A port may have at
+    // most one listener: binding an already-bound port is rejected (returns
+    // false, counted) instead of silently replacing the existing flow's
+    // handler.  Restarting a connection on the same port is an explicit
+    // rebind().
+    [[nodiscard]] bool bind(std::uint16_t port, handler on_packet) {
+        const auto [it, inserted] =
+            handlers_.emplace(port, std::move(on_packet));
+        if (!inserted) ++bind_conflicts_;
+        return inserted;
+    }
+
+    // Replaces the handler of a bound port (connection restart) or binds a
+    // free one.
+    void rebind(std::uint16_t port, handler on_packet) {
         handlers_[port] = std::move(on_packet);
     }
 
@@ -61,12 +76,61 @@ public:
         return no_listener_drops_;
     }
     std::uint64_t malformed() const noexcept { return malformed_; }
+    std::uint64_t bind_conflicts() const noexcept { return bind_conflicts_; }
 
 private:
     std::map<std::uint16_t, handler> handlers_;
     std::uint64_t dispatched_ = 0;
     std::uint64_t no_listener_drops_ = 0;
     std::uint64_t malformed_ = 0;
+    std::uint64_t bind_conflicts_ = 0;
+};
+
+// Port-number allocator for the multi-flow engine: hands out local ports
+// from a fixed range, recycles released ports (LIFO, so teardown/reopen
+// churn stays in a small working set), and reports exhaustion as an explicit
+// error (nullopt) instead of the silent-overwrite UB path that handing the
+// same port to two flows used to be.
+class port_allocator {
+public:
+    port_allocator(std::uint16_t first, std::uint16_t last)
+        : first_(first), last_(last), next_(first) {
+        ILP_EXPECT(first <= last);
+    }
+
+    // Next free port, or nullopt when the range is exhausted.
+    std::optional<std::uint16_t> allocate() {
+        if (!free_.empty()) {
+            const std::uint16_t p = free_.back();
+            free_.pop_back();
+            ++allocated_;
+            return p;
+        }
+        if (next_ > last_) return std::nullopt;
+        ++allocated_;
+        return next_++;
+    }
+
+    // Returns a port to the pool.  Releasing a port that was never handed
+    // out is a programmer error.
+    void release(std::uint16_t port) {
+        ILP_EXPECT(port >= first_ && port < next_);
+        ILP_EXPECT(allocated_ > 0);
+        --allocated_;
+        free_.push_back(port);
+    }
+
+    std::size_t capacity() const noexcept {
+        return static_cast<std::size_t>(last_ - first_) + 1;
+    }
+    std::size_t allocated() const noexcept { return allocated_; }
+
+private:
+    std::uint16_t first_;
+    std::uint16_t last_;
+    std::uint32_t next_;  // wider than uint16_t so next_ > last_ can hold
+    std::size_t allocated_ = 0;
+    std::vector<std::uint16_t> free_;
 };
 
 }  // namespace ilp::net

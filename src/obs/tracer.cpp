@@ -68,6 +68,7 @@ void tracer::open(const char* category, const char* name) {
     f.name = name;
     f.side = side_;
     f.source = source_;
+    f.flow = flow_;
     f.begin_us = now();
     if (f.source != nullptr) f.at_open = sample_counters(*f.source);
     stack_.push_back(f);
@@ -86,6 +87,7 @@ void tracer::close() {
     s.begin_us = f.begin_us;
     s.end_us = now();
     s.depth = static_cast<std::uint32_t>(stack_.size());
+    s.flow = f.flow;
     if (f.source != nullptr) {
         const mem_counters at_close = sample_counters(*f.source);
         s.begin_cycles = f.at_open.cycles;
@@ -117,6 +119,7 @@ void tracer::record_instant(const char* category, const char* name) {
     s.kind = event_kind::instant;
     s.begin_us = s.end_us = now();
     s.depth = static_cast<std::uint32_t>(stack_.size());
+    s.flow = flow_;
     if (source_ != nullptr) {
         const std::uint64_t cycles = sample_counters(*source_).cycles;
         s.begin_cycles = s.end_cycles = cycles;

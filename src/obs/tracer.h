@@ -58,6 +58,11 @@ struct span {
     std::uint64_t end_cycles = 0;
     std::uint32_t depth = 0;  // nesting depth at open (0 = top level)
     std::uint64_t seq = 0;    // monotone completion index
+    // Flow id the enclosing code was serving when the span opened (-1: not
+    // flow-scoped).  The multi-flow engine sets it via ILP_OBS_FLOW so
+    // per-stage miss attribution can be split per flow (`ilp-trace
+    // summarize --per-flow`).
+    std::int64_t flow = -1;
     mem_counters incl;
     mem_counters self;
 };
@@ -123,12 +128,14 @@ public:
 
 private:
     friend class scoped_attribution;
+    friend class scoped_flow;
 
     struct frame {
         const char* category;
         const char* name;
         const char* side;
         const memsim::memory_system* source;  // fixed at open
+        std::int64_t flow = -1;
         sim_time begin_us;
         mem_counters at_open;
         mem_counters child_incl;  // same-source children only
@@ -141,6 +148,7 @@ private:
     const virtual_clock* clock_ = nullptr;
     const memsim::memory_system* source_ = nullptr;  // current attribution
     const char* side_ = nullptr;
+    std::int64_t flow_ = -1;  // current flow scope (-1: none)
     std::vector<frame> stack_;
     std::vector<span> ring_;
     std::size_t write_ = 0;      // next ring slot
@@ -192,6 +200,27 @@ private:
     const char* prev_side_ = nullptr;
 };
 
+// RAII flow scope: spans and instants recorded inside carry `flow` as their
+// flow id.  Nests; restores the previous flow on exit.  The engine wraps
+// each flow's service visit and packet handlers in one of these.
+class scoped_flow {
+public:
+    explicit scoped_flow(std::int64_t flow) : tracer_(tracer::current()) {
+        if (tracer_ == nullptr) return;
+        prev_flow_ = tracer_->flow_;
+        tracer_->flow_ = flow;
+    }
+    ~scoped_flow() {
+        if (tracer_ != nullptr) tracer_->flow_ = prev_flow_;
+    }
+    scoped_flow(const scoped_flow&) = delete;
+    scoped_flow& operator=(const scoped_flow&) = delete;
+
+private:
+    tracer* tracer_;
+    std::int64_t prev_flow_ = -1;
+};
+
 inline void instant(const char* category, const char* name) {
     if (tracer* t = tracer::current()) t->record_instant(category, name);
 }
@@ -221,9 +250,13 @@ const memsim::memory_system* attribution_source(const M&) noexcept {
 #define ILP_OBS_ATTR(side, source)                            \
     [[maybe_unused]] ::ilp::obs::scoped_attribution ILP_OBS_CONCAT( \
         ilp_obs_attr_, __LINE__) { side, source }
+#define ILP_OBS_FLOW(flow)                              \
+    [[maybe_unused]] ::ilp::obs::scoped_flow ILP_OBS_CONCAT( \
+        ilp_obs_flow_, __LINE__) { static_cast<std::int64_t>(flow) }
 #define ILP_OBS_INSTANT(category, name) ::ilp::obs::instant(category, name)
 #else
 #define ILP_OBS_SPAN(category, name) static_cast<void>(0)
 #define ILP_OBS_ATTR(side, source) static_cast<void>(0)
+#define ILP_OBS_FLOW(flow) static_cast<void>(0)
 #define ILP_OBS_INSTANT(category, name) static_cast<void>(0)
 #endif

@@ -71,6 +71,13 @@ struct connection_config {
     // the domain boundary disappears (fbufs / page remapping); crossings
     // and all protocol processing remain.
     bool zero_copy = false;
+
+    // Flow tag stamped on every packet this connection emits (data,
+    // retransmissions, control segments, ACKs).  The multi-flow engine sets
+    // it to the flow id so the shared datagram pipes can account each flow's
+    // queue share and draw its fault coins from a per-flow stream; 0 (the
+    // default) is the untagged single-flow path.
+    std::uint32_t net_tag = 0;
 };
 
 // The peer's view of the same connection (swapped addresses and ports);
@@ -255,6 +262,14 @@ public:
         ++stats_.resets;
     }
 
+    // Disarms the RTO and persist timers without touching stream state or
+    // stats.  Must run before destroying a sender whose clock outlives it:
+    // an armed timer callback captures `this`.
+    void quiesce() {
+        disarm_rto();
+        disarm_persist();
+    }
+
     bool idle() const noexcept { return unacked_.empty(); }
     // Smoothed RTT estimate in microseconds (0 until the first sample).
     double smoothed_rtt_us() const noexcept { return have_rtt_ ? srtt_us_ : 0; }
@@ -311,9 +326,11 @@ private:
         const std::span<const std::byte> header_span{header_buffer_,
                                                      header_bytes};
         if (config_.zero_copy) {
-            out_->send_zero_copy({header_span, payload.first, payload.second});
+            out_->send_zero_copy({header_span, payload.first, payload.second},
+                                 config_.net_tag);
         } else {
-            out_->send(mem_, {header_span, payload.first, payload.second});
+            out_->send(mem_, {header_span, payload.first, payload.second},
+                       config_.net_tag);
         }
         ++stats_.segments_transmitted;
     }
@@ -378,9 +395,9 @@ private:
         const std::span<const std::byte> header_span{header_buffer_,
                                                      header_bytes};
         if (config_.zero_copy) {
-            out_->send_zero_copy({header_span});
+            out_->send_zero_copy({header_span}, config_.net_tag);
         } else {
-            out_->send(mem_, {header_span});
+            out_->send(mem_, {header_span}, config_.net_tag);
         }
     }
 
@@ -632,7 +649,8 @@ private:
             0, 0);
         store_be16(ack_buffer_ + 16, cksum);
         ack_out_->send(mem_,
-                       {std::span<const std::byte>{ack_buffer_, header_bytes}});
+                       {std::span<const std::byte>{ack_buffer_, header_bytes}},
+                       config_.net_tag);
         ++stats_.acks_sent;
     }
 

@@ -4,6 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+// GCC 12 false-positives -Wmaybe-uninitialized on the variant move inside
+// `value(std::move(out))` once parse_object/parse_array are inlined into
+// parse_value at -O2 (gcc bug 105562); the temporary is fully constructed.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 namespace ilp::json {
 
 namespace {

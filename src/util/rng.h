@@ -11,6 +11,19 @@
 
 namespace ilp {
 
+// Deterministically combines a base seed with a stream id (splitmix64-style
+// finalizer over the pair).  Every per-flow RNG in the multi-flow engine is
+// seeded with derive_seed(base, flow_id), so a flow's random stream (file
+// contents, key material, fault coins) depends only on the base seed and its
+// own id — never on scheduling order or shard assignment.
+constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                    std::uint64_t stream) noexcept {
+    std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
 class rng {
 public:
     explicit rng(std::uint64_t seed) noexcept {

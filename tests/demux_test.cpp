@@ -32,8 +32,8 @@ std::vector<std::byte> segment_to(std::uint16_t dst_port,
 TEST(PortDemux, RoutesByDestinationPort) {
     port_demux demux;
     int a = 0, b = 0;
-    demux.bind(1000, [&](std::span<const std::byte>) { ++a; });
-    demux.bind(2000, [&](std::span<const std::byte>) { ++b; });
+    ASSERT_TRUE(demux.bind(1000, [&](std::span<const std::byte>) { ++a; }));
+    ASSERT_TRUE(demux.bind(2000, [&](std::span<const std::byte>) { ++b; }));
     EXPECT_EQ(demux.bound_ports(), 2u);
 
     demux.dispatch(segment_to(1000));
@@ -46,7 +46,7 @@ TEST(PortDemux, RoutesByDestinationPort) {
 
 TEST(PortDemux, DropsUnboundAndMalformed) {
     port_demux demux;
-    demux.bind(1000, [](std::span<const std::byte>) {});
+    ASSERT_TRUE(demux.bind(1000, [](std::span<const std::byte>) {}));
     demux.dispatch(segment_to(4242));  // nobody listening
     const std::byte runt[5] = {};
     demux.dispatch({runt, 5});
@@ -58,12 +58,81 @@ TEST(PortDemux, DropsUnboundAndMalformed) {
 TEST(PortDemux, UnbindStopsDelivery) {
     port_demux demux;
     int count = 0;
-    demux.bind(1000, [&](std::span<const std::byte>) { ++count; });
+    ASSERT_TRUE(
+        demux.bind(1000, [&](std::span<const std::byte>) { ++count; }));
     demux.dispatch(segment_to(1000));
     demux.unbind(1000);
     demux.dispatch(segment_to(1000));
     EXPECT_EQ(count, 1);
     EXPECT_EQ(demux.no_listener_drops(), 1u);
+}
+
+TEST(PortDemux, RejectsDoubleBindKeepsFirstListener) {
+    port_demux demux;
+    int first = 0, second = 0;
+    ASSERT_TRUE(demux.bind(1000, [&](std::span<const std::byte>) { ++first; }));
+    // A second bind on a live port must not hijack the existing flow.
+    EXPECT_FALSE(
+        demux.bind(1000, [&](std::span<const std::byte>) { ++second; }));
+    EXPECT_EQ(demux.bind_conflicts(), 1u);
+    EXPECT_EQ(demux.bound_ports(), 1u);
+    demux.dispatch(segment_to(1000));
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 0);
+}
+
+TEST(PortDemux, RebindReplacesHandlerExplicitly) {
+    port_demux demux;
+    int first = 0, second = 0;
+    ASSERT_TRUE(demux.bind(1000, [&](std::span<const std::byte>) { ++first; }));
+    demux.rebind(1000, [&](std::span<const std::byte>) { ++second; });
+    demux.dispatch(segment_to(1000));
+    EXPECT_EQ(first, 0);
+    EXPECT_EQ(second, 1);
+    EXPECT_EQ(demux.bind_conflicts(), 0u);  // rebind is not a conflict
+    // rebind on a free port is an ordinary bind.
+    demux.rebind(2000, [&](std::span<const std::byte>) { ++second; });
+    EXPECT_EQ(demux.bound_ports(), 2u);
+}
+
+TEST(PortAllocator, ExhaustionIsExplicitAndReleaseRecycles) {
+    port_allocator ports(100, 103);
+    EXPECT_EQ(ports.capacity(), 4u);
+    std::vector<std::uint16_t> got;
+    for (int i = 0; i < 4; ++i) {
+        const auto p = ports.allocate();
+        ASSERT_TRUE(p.has_value());
+        got.push_back(*p);
+    }
+    EXPECT_EQ(ports.allocated(), 4u);
+    // Range exhausted: explicit error, not a duplicate port.
+    EXPECT_FALSE(ports.allocate().has_value());
+
+    // Released ports are handed out again (LIFO).
+    ports.release(got[1]);
+    ports.release(got[2]);
+    const auto again = ports.allocate();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, got[2]);
+    EXPECT_EQ(ports.allocated(), 3u);
+}
+
+TEST(PortAllocator, HandsOutDistinctPortsAcrossChurn) {
+    port_allocator ports(10, 29);
+    std::vector<std::uint16_t> live;
+    for (int round = 0; round < 8; ++round) {
+        while (ports.allocated() < 10) {
+            const auto p = ports.allocate();
+            ASSERT_TRUE(p.has_value());
+            for (const std::uint16_t q : live) ASSERT_NE(*p, q);
+            live.push_back(*p);
+        }
+        // Tear down half the "flows".
+        for (int i = 0; i < 5; ++i) {
+            ports.release(live.back());
+            live.pop_back();
+        }
+    }
 }
 
 TEST(PortDemux, TwoConnectionsShareOnePipe) {
@@ -95,18 +164,18 @@ TEST(PortDemux, TwoConnectionsShareOnePipe) {
                                                 link.reverse(),
                                                 tcp::mirrored(cfg_b));
 
-    data_demux.bind(5002, [&](std::span<const std::byte> p) {
+    ASSERT_TRUE(data_demux.bind(5002, [&](std::span<const std::byte> p) {
         receiver_a.on_packet(p);
-    });
-    data_demux.bind(6002, [&](std::span<const std::byte> p) {
+    }));
+    ASSERT_TRUE(data_demux.bind(6002, [&](std::span<const std::byte> p) {
         receiver_b.on_packet(p);
-    });
-    ack_demux.bind(5001, [&](std::span<const std::byte> p) {
+    }));
+    ASSERT_TRUE(ack_demux.bind(5001, [&](std::span<const std::byte> p) {
         sender_a.on_ack_packet(p);
-    });
-    ack_demux.bind(6001, [&](std::span<const std::byte> p) {
+    }));
+    ASSERT_TRUE(ack_demux.bind(6001, [&](std::span<const std::byte> p) {
         sender_b.on_ack_packet(p);
-    });
+    }));
 
     std::vector<std::vector<std::byte>> got_a, got_b;
     std::vector<std::byte> pending_a, pending_b;

@@ -1,8 +1,9 @@
 // ilp-trace: offline companion for the src/obs instrumentation.
 //
 //   ilp-trace summarize <trace.json>         per-stage table from a Chrome
-//                                            trace_event file, with self
+//       [--per-flow]                         trace_event file, with self
 //                                            cache-miss attribution by stage
+//                                            (--per-flow splits by flow tag)
 //   ilp-trace validate  <file.json>          structural check of a Chrome
 //                                            trace or a BENCH schema file
 //   ilp-trace diff <old.json> <new.json>     compare two BENCH JSON reports
@@ -17,6 +18,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "stats/table.h"
@@ -28,7 +30,7 @@ using ilp::json::value;
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: ilp-trace summarize <trace.json>\n"
+                 "usage: ilp-trace summarize <trace.json> [--per-flow]\n"
                  "       ilp-trace validate <file.json>\n"
                  "       ilp-trace diff <old.json> <new.json>"
                  " [--threshold=<pct>]\n");
@@ -53,7 +55,11 @@ struct stage_sum {
     std::uint64_t l1d_misses = 0;  // inclusive
 };
 
-int cmd_summarize(const std::string& path) {
+// Group key: (flow, side, stage).  Flow -1 means "not flow-scoped"; without
+// --per-flow every event lands there, so the extra tuple slot is invisible.
+using stage_group = std::tuple<long long, std::string, std::string>;
+
+int cmd_summarize(const std::string& path, bool per_flow) {
     const std::optional<value> doc = ilp::json::parse_file(path);
     if (!doc.has_value()) {
         std::fprintf(stderr, "ilp-trace: cannot parse %s\n", path.c_str());
@@ -67,7 +73,7 @@ int cmd_summarize(const std::string& path) {
     }
 
     std::map<double, std::string> thread_names;
-    std::map<std::pair<std::string, std::string>, stage_sum> stages;
+    std::map<stage_group, stage_sum> stages;
     std::uint64_t instants = 0;
     for (const value& ev : *events) {
         const std::string ph = ev.string_at("ph");
@@ -87,10 +93,14 @@ int cmd_summarize(const std::string& path) {
         const auto tn = thread_names.find(tid);
         const std::string side =
             tn == thread_names.end() ? "-" : tn->second;
-        stage_sum& s = stages[{side, ev.string_at("name")}];
+        const value* args = ev.find("args");
+        long long flow = -1;
+        if (per_flow && args != nullptr && args->find("flow") != nullptr) {
+            flow = static_cast<long long>(args->number_at("flow"));
+        }
+        stage_sum& s = stages[{flow, side, ev.string_at("name")}];
         ++s.count;
         s.dur_us += ev.number_at("dur");
-        const value* args = ev.find("args");
         if (args != nullptr) {
             s.self_accesses +=
                 static_cast<std::uint64_t>(args->number_at("self_accesses"));
@@ -106,17 +116,30 @@ int cmd_summarize(const std::string& path) {
     std::uint64_t total_self_misses = 0;
     for (const auto& [key, s] : stages) total_self_misses += s.self_l1d_misses;
 
-    ilp::stats::table out({"side", "stage", "count", "dur", "self accesses",
-                           "self l1d miss", "miss %", "self cycles"});
+    std::vector<std::string> headers;
+    if (per_flow) headers.push_back("flow");
+    for (const char* h : {"side", "stage", "count", "dur", "self accesses",
+                          "self l1d miss", "miss %", "self cycles"}) {
+        headers.emplace_back(h);
+    }
+    ilp::stats::table out(headers);
     for (const auto& [key, s] : stages) {
+        const auto& [flow, side, stage] = key;
         const double share =
             total_self_misses == 0
                 ? 0.0
                 : 100.0 * static_cast<double>(s.self_l1d_misses) /
                       static_cast<double>(total_self_misses);
-        out.row()
-            .cell(key.first)
-            .cell(key.second)
+        auto& row = out.row();
+        if (per_flow) {
+            if (flow < 0) {
+                row.cell("-");
+            } else {
+                row.cell(static_cast<std::uint64_t>(flow));
+            }
+        }
+        row.cell(side)
+            .cell(stage)
             .cell(s.count)
             .cell(s.dur_us, 0)
             .cell(s.self_accesses)
@@ -315,9 +338,12 @@ int main(int argc, char** argv) {
     std::string command;
     std::vector<std::string> paths;
     double threshold_pct = 5.0;
+    bool per_flow = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg.rfind("--threshold=", 0) == 0) {
+        if (arg == "--per-flow") {
+            per_flow = true;
+        } else if (arg.rfind("--threshold=", 0) == 0) {
             char* end = nullptr;
             threshold_pct = std::strtod(arg.c_str() + 12, &end);
             if (end == nullptr || *end != '\0' || threshold_pct < 0) {
@@ -334,7 +360,7 @@ int main(int argc, char** argv) {
         }
     }
     if (command == "summarize" && paths.size() == 1) {
-        return cmd_summarize(paths[0]);
+        return cmd_summarize(paths[0], per_flow);
     }
     if (command == "validate" && paths.size() == 1) {
         return cmd_validate(paths[0]);
