@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "app/harness.h"
+#include "crypto/aead.h"
 #include "crypto/safer_simplified.h"
 #include "obs/bench_json.h"
 
@@ -107,6 +108,59 @@ int main(int argc, char** argv) {
                 report.histogram_metric(key + ".retry_latency_us", *retry,
                                         "us");
             }
+        }
+    }
+
+    // Rekey-under-load regime: the secure (AEAD) framing with an epoch
+    // rekey every 16 KB of reply wire, under the same bursty loss as the
+    // gilbert_elliott regime.  Gates that key rollover under loss neither
+    // stalls the transfer (reply-gap p99) nor produces spurious explicit
+    // failures (tag_failures / epoch_skews must stay 0: retransmits land in
+    // the two-epoch window).
+    for (const app::path_mode mode :
+         {app::path_mode::ilp, app::path_mode::layered}) {
+        app::transfer_config config;
+        config.mode = mode;
+        config.file_bytes = 128 * 1024;
+        config.packet_wire_bytes = 1024;
+        config.secure = true;
+        config.rekey_interval_bytes = 16 * 1024;
+        config.forward_faults.burst.enabled = true;
+        config.forward_faults.burst.p_good_to_bad = 0.05;
+        config.forward_faults.burst.p_bad_to_good = 0.25;
+        config.forward_faults.burst.bad_loss = 0.95;
+        config.forward_faults.seed = 11;
+
+        const app::transfer_result result =
+            app::run_transfer_native<crypto::aead_cipher>(config);
+
+        const std::string key =
+            std::string("rekey_under_load.") +
+            (mode == app::path_mode::ilp ? "ilp" : "layered");
+        report.metric(key + ".completed",
+                      result.completed && result.verified ? 1.0 : 0.0, "bool",
+                      obs::direction::higher_is_better);
+        report.metric(key + ".goodput_mbps", result.throughput_mbps(), "mbps",
+                      obs::direction::higher_is_better);
+        report.metric(key + ".rekeys",
+                      static_cast<double>(result.metrics.counter(
+                          "crypto.rekeys")),
+                      "count", obs::direction::info);
+        report.metric(key + ".epoch_window_hits",
+                      static_cast<double>(result.metrics.counter(
+                          "crypto.epoch_window_hits")),
+                      "count", obs::direction::info);
+        report.metric(key + ".tag_failures",
+                      static_cast<double>(result.metrics.counter(
+                          "crypto.tag_failures")),
+                      "count", obs::direction::lower_is_better);
+        report.metric(key + ".epoch_skews",
+                      static_cast<double>(result.metrics.counter(
+                          "crypto.epoch_skews")),
+                      "count", obs::direction::lower_is_better);
+        if (const obs::histogram* gap =
+                result.metrics.find_hist("client.reply_gap_us")) {
+            report.histogram_metric(key + ".reply_gap_us", *gap, "us");
         }
     }
 

@@ -25,6 +25,7 @@
 
 #include "app/path_mode.h"
 #include "app/receive_path.h"
+#include "app/secure_path.h"
 #include "app/send_path.h"
 #include "net/datagram.h"
 #include "obs/tracer.h"
@@ -88,24 +89,35 @@ public:
                 net::datagram_pipe& reply_data_out,
                 const tcp::connection_config& request_cfg,
                 const tcp::connection_config& reply_cfg, path_mode mode,
-                const file_store& store)
+                const file_store& store, const secure_params& secure = {})
         : mem_(mem),
           cipher_(&cipher),
           mode_(mode),
           store_(&store),
+          secure_(secure),
           request_isn_(request_cfg.initial_seq),
           request_rx_(mem, clock, request_ack_out, request_cfg),
           reply_tx_(mem, clock, reply_data_out, reply_cfg),
           workspace_(net::datagram_pipe::max_packet_bytes),
           request_staging_(net::datagram_pipe::max_packet_bytes) {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (secure_.enabled) {
+                chain_.emplace(secure_.flow_secret);
+                control_cipher_.emplace(
+                    crypto::derive_control_cipher<Cipher>(
+                        secure_.flow_secret));
+            }
+        } else {
+            // Secure mode needs a KDF-derivable, tag-capable cipher.
+            ILP_EXPECT(!secure_.enabled);
+        }
         reply_tx_.set_attribution("server", obs_src_);
         // The client's request sender RSTs when it gives up; rewind to the
         // agreed initial sequence so its re-established sender lines up.
         request_rx_.set_failure_handler(
             [this] { request_rx_.reset(request_isn_); });
         request_rx_.set_processor([this](std::span<std::byte> payload) {
-            return receive_request(mode_, mem_, *cipher_, payload,
-                                   request_staging_.span(), rx_counters_);
+            return process_request(payload);
         });
         request_rx_.set_accept_handler(
             [this](std::size_t wire_len) { on_request(wire_len); });
@@ -117,10 +129,10 @@ public:
                 net::duplex_link& request_link, net::duplex_link& reply_link,
                 const tcp::connection_config& request_cfg,
                 const tcp::connection_config& reply_cfg, path_mode mode,
-                const file_store& store)
+                const file_store& store, const secure_params& secure = {})
         : file_server(mem, cipher, clock, request_link.reverse(),
                       reply_link.forward(), request_cfg, reply_cfg, mode,
-                      store) {
+                      store, secure) {
         // Packet handlers fire from inside clock.advance() (delivery timers),
         // outside pump()/poll() — the attribution scope must travel with
         // them, or their memory traffic would be charged to no side.
@@ -188,7 +200,8 @@ public:
         if (jobs_.empty()) return 0;
         reply_job& job = jobs_.front();
         const std::size_t wire =
-            rpc::layout_reply(next_payload_len(job)).wire_bytes;
+            rpc::layout_reply(next_payload_len(job)).wire_bytes +
+            trailer_bytes();
         if (!send_next_reply(job)) return 0;
         if (job.finished) jobs_.pop_front();
         return wire;
@@ -200,7 +213,8 @@ public:
         if (reply_tx_.failed()) return 0;
         for (const reply_job& job : jobs_) {
             if (!job.finished) {
-                return rpc::layout_reply(next_payload_len(job)).wire_bytes;
+                return rpc::layout_reply(next_payload_len(job)).wire_bytes +
+                       trailer_bytes();
             }
         }
         return 0;
@@ -230,6 +244,16 @@ public:
     }
     std::uint64_t jobs_abandoned() const noexcept { return jobs_abandoned_; }
 
+    const secure_flow_stats& secure_stats() const noexcept {
+        return sec_stats_;
+    }
+    crypto::key_epoch current_epoch() const noexcept {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (chain_.has_value()) return chain_->current_epoch();
+        }
+        return 0;
+    }
+
 private:
     struct reply_job {
         rpc::file_request request;
@@ -239,14 +263,76 @@ private:
         bool finished = false;
     };
 
+    // Trailer overhead of the flow's framing (0 for plain / downgraded v2).
+    std::size_t trailer_bytes() const noexcept {
+        return secure_framing(secure_) ? rpc::secure_trailer_bytes : 0;
+    }
+
+    // Request-direction processor: secure framing decrypts under the
+    // epoch-free control key and verifies the tag; otherwise the classic
+    // path (with the KDF epoch-0 key when the flow is secure-but-v2).
+    tcp::rx_process_result process_request(std::span<std::byte> payload) {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (secure_framing(secure_)) {
+                secure_rx_status status;
+                const auto result = receive_request_secure(
+                    mode_, mem_, *control_cipher_, payload,
+                    request_staging_.span(), &status, rx_counters_);
+                if (status.cause == secure_rx_cause::tag_mismatch) {
+                    ++sec_stats_.tag_failures;
+                    ILP_OBS_INSTANT("crypto", "request_tag_mismatch");
+                }
+                return result;
+            }
+        }
+        return receive_request(mode_, mem_, request_cipher(), payload,
+                               request_staging_.span(), rx_counters_);
+    }
+
+    // The cipher the reply stream runs under: the keychain's current epoch
+    // key for secure flows, else the caller-provided static cipher.
+    const Cipher& data_cipher() const {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (chain_.has_value()) return chain_->current();
+        }
+        return *cipher_;
+    }
+
+    // The cipher the request direction runs under.
+    const Cipher& request_cipher() const {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (control_cipher_.has_value()) return *control_cipher_;
+        }
+        return *cipher_;
+    }
+
     void on_request(std::size_t wire_len) {
         ILP_OBS_SPAN("app", "serve_request");
-        const auto request =
-            rpc::unmarshal_request(request_staging_.subspan(0, wire_len));
+        ILP_EXPECT(wire_len >= trailer_bytes());
+        const auto request = rpc::unmarshal_request(
+            request_staging_.subspan(0, wire_len - trailer_bytes()));
         if (!request.has_value() || request->copy_count == 0 ||
             request->max_reply_payload == 0) {
             ++requests_rejected_;
             return;
+        }
+        // Version pinning: the flow's negotiated framing decides which wire
+        // version is acceptable; anything else is rejected explicitly.
+        const std::uint32_t expected_version = secure_framing(secure_)
+                                                   ? rpc::wire_version_secure
+                                                   : rpc::wire_version;
+        if (request->version != expected_version) {
+            ++requests_rejected_;
+            return;
+        }
+        if constexpr (crypto::aead_capable<Cipher>) {
+            // A v3 request carries the client's epoch: re-centre the key
+            // window before replying (a server picking up a flow resumed
+            // after an outage must not answer under a retired epoch).
+            if (secure_framing(secure_) && chain_->adopt(request->key_epoch)) {
+                ++sec_stats_.epoch_adoptions;
+                ILP_OBS_INSTANT("crypto", "epoch_adopted");
+            }
         }
         const std::vector<std::byte>* file = store_->find(request->filename);
         if (file == nullptr) {
@@ -331,11 +417,26 @@ private:
             header, {job.file->data() + job.offset, payload_len}, staging);
         const rpc::reply_layout layout = rpc::layout_reply(payload_len);
 
-        if (!send_message(mode_, reply_tx_, mem_, *cipher_, src, layout.plan,
-                          workspace_, tx_counters_)) {
+        bool sent = false;
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (secure_framing(secure_)) {
+                sent = send_message_secure(
+                    mode_, reply_tx_, mem_, chain_->current(),
+                    chain_->current_epoch(), src, layout.plan, workspace_,
+                    tx_counters_);
+            } else {
+                sent = send_message(mode_, reply_tx_, mem_, data_cipher(), src,
+                                    layout.plan, workspace_, tx_counters_);
+            }
+        } else {
+            sent = send_message(mode_, reply_tx_, mem_, *cipher_, src,
+                                layout.plan, workspace_, tx_counters_);
+        }
+        if (!sent) {
             return false;  // delayed until buffer space is available (§3.2.2)
         }
         tx_counters_.payload_bytes += payload_len;
+        maybe_rekey(layout.wire_bytes + trailer_bytes());
 
         job.offset += payload_len;
         if (job.offset >= job.file->size()) {
@@ -345,11 +446,34 @@ private:
         return true;
     }
 
+    // rekey_interval_bytes policy: after enough reply-stream bytes, advance
+    // the key window.  Segments already in the TCP ring (and any
+    // retransmissions of them) keep their old-epoch ciphertext — that is
+    // precisely what the receiver's two-epoch window absorbs.
+    void maybe_rekey(std::size_t sent_wire_bytes) {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (!secure_framing(secure_) || secure_.rekey_interval_bytes == 0) {
+                return;
+            }
+            bytes_since_rekey_ += sent_wire_bytes;
+            if (bytes_since_rekey_ < secure_.rekey_interval_bytes) return;
+            bytes_since_rekey_ = 0;
+            chain_->advance();
+            ++sec_stats_.rekeys;
+            ILP_OBS_INSTANT("crypto", "rekey");
+        }
+    }
+
     Mem mem_;
     const memsim::memory_system* obs_src_ = obs::attribution_source(mem_);
     const Cipher* cipher_;
     path_mode mode_;
     const file_store* store_;
+    secure_params secure_;
+    std::optional<crypto::keychain<Cipher>> chain_;
+    std::optional<Cipher> control_cipher_;
+    secure_flow_stats sec_stats_;
+    std::uint64_t bytes_since_rekey_ = 0;
     std::uint32_t request_isn_;
     tcp::tcp_receiver<Mem> request_rx_;
     tcp::tcp_sender<Mem> reply_tx_;
@@ -378,16 +502,28 @@ public:
                 net::datagram_pipe& reply_ack_out,
                 const tcp::connection_config& request_cfg,
                 const tcp::connection_config& reply_cfg, path_mode mode,
-                const retry_policy& retry = {})
+                const retry_policy& retry = {},
+                const secure_params& secure = {})
         : mem_(mem),
           cipher_(&cipher),
           mode_(mode),
           clock_(&clock),
           policy_(retry),
+          secure_(secure),
           request_isn_(request_cfg.initial_seq),
           request_tx_(mem, clock, request_data_out, request_cfg),
           reply_rx_(mem, clock, reply_ack_out, reply_cfg),
           workspace_(net::datagram_pipe::max_packet_bytes) {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (secure_.enabled) {
+                chain_.emplace(secure_.flow_secret);
+                control_cipher_.emplace(
+                    crypto::derive_control_cipher<Cipher>(
+                        secure_.flow_secret));
+            }
+        } else {
+            ILP_EXPECT(!secure_.enabled);
+        }
         request_tx_.set_attribution("client", obs_src_);
         reply_rx_.set_processor([this](std::span<std::byte> payload) {
             return process_reply(payload);
@@ -400,10 +536,11 @@ public:
                 net::duplex_link& request_link, net::duplex_link& reply_link,
                 const tcp::connection_config& request_cfg,
                 const tcp::connection_config& reply_cfg, path_mode mode,
-                const retry_policy& retry = {})
+                const retry_policy& retry = {},
+                const secure_params& secure = {})
         : file_client(mem, cipher, clock, request_link.forward(),
                       reply_link.reverse(), request_cfg, reply_cfg, mode,
-                      retry) {
+                      retry, secure) {
         request_link.reverse().set_receiver(
             [this](std::span<const std::byte> p) {
                 on_request_ack_packet(p);
@@ -435,6 +572,9 @@ public:
         ILP_OBS_SPAN("rpc", "request");
         rpc::file_request r = request;
         r.reply_isn = reply_rx_.expected_seq();
+        r.version = secure_framing(secure_) ? rpc::wire_version_secure
+                                            : rpc::wire_version;
+        r.key_epoch = current_epoch();
         if (!issue_request(r)) return false;
         state_.request = r;
         state_.active = true;
@@ -533,6 +673,16 @@ public:
     // into the transfer-wide registry.
     const obs::registry& metrics() const noexcept { return metrics_; }
 
+    const secure_flow_stats& secure_stats() const noexcept {
+        return sec_stats_;
+    }
+    crypto::key_epoch current_epoch() const noexcept {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (chain_.has_value()) return chain_->current_epoch();
+        }
+        return 0;
+    }
+
 private:
     struct transfer_state {
         rpc::file_request request;
@@ -573,12 +723,18 @@ private:
         rpc::reply_header header;
         tcp::rx_process_result result;
         const std::uint64_t payload_before = rx_counters_.payload_bytes;
-        if (mode_ == path_mode::ilp) {
-            result = receive_reply_ilp(mem_, *cipher_, payload, resolve,
-                                       &header, rx_counters_);
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (secure_framing(secure_)) {
+                secure_rx_status status;
+                result = receive_reply_secure(mode_, mem_, *chain_, payload,
+                                              resolve, &header, &status,
+                                              rx_counters_);
+                note_secure_status(status);
+            } else {
+                result = plain_receive_reply(payload, resolve, &header);
+            }
         } else {
-            result = receive_reply_layered(mem_, *cipher_, payload, resolve,
-                                           &header, rx_counters_);
+            result = plain_receive_reply(payload, resolve, &header);
         }
         // Remember what this reply would contribute; it is committed only if
         // TCP's final stage accepts the segment.
@@ -621,6 +777,62 @@ private:
         last_progress_us_ = clock_->now();
     }
 
+    // The classic (trailer-less) reply receive, under the keychain's key for
+    // secure-but-v2 flows and the static cipher otherwise.
+    template <typename Resolver>
+    tcp::rx_process_result plain_receive_reply(std::span<std::byte> payload,
+                                               Resolver&& resolve,
+                                               rpc::reply_header* header) {
+        if (mode_ == path_mode::ilp) {
+            return receive_reply_ilp(mem_, data_cipher(), payload, resolve,
+                                     header, rx_counters_);
+        }
+        return receive_reply_layered(mem_, data_cipher(), payload, resolve,
+                                     header, rx_counters_);
+    }
+
+    const Cipher& data_cipher() const {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (chain_.has_value()) return chain_->current();
+        }
+        return *cipher_;
+    }
+
+    // Request-direction key; must mirror the server's request_cipher().
+    const Cipher& request_cipher() const {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (control_cipher_.has_value()) return *control_cipher_;
+        }
+        return *cipher_;
+    }
+
+    // Folds one secure receive verdict into the counters/metrics; every
+    // explicit failure cause leaves a distinct trace.
+    void note_secure_status(const secure_rx_status& status) {
+        switch (status.cause) {
+            case secure_rx_cause::tag_mismatch:
+                ++sec_stats_.tag_failures;
+                metrics_.add("crypto.tag_failures");
+                ILP_OBS_INSTANT("crypto", "tag_mismatch");
+                break;
+            case secure_rx_cause::epoch_skew:
+                ++sec_stats_.epoch_skews;
+                metrics_.add("crypto.epoch_skews");
+                ILP_OBS_INSTANT("crypto", "epoch_skew");
+                break;
+            case secure_rx_cause::ok:
+                if (status.window_hit) ++sec_stats_.window_hits;
+                if (status.adopted) {
+                    ++sec_stats_.epoch_adoptions;
+                    metrics_.add("crypto.epoch_adoptions");
+                    ILP_OBS_INSTANT("crypto", "epoch_adopted");
+                }
+                break;
+            case secure_rx_cause::malformed:
+                break;
+        }
+    }
+
     // Marshals and sends one request message over the request connection.
     bool issue_request(const rpc::file_request& request) {
         alignas(8) std::byte wire[1024];
@@ -633,8 +845,18 @@ private:
         src.add({wire, *wire_len});
         const core::message_plan plan = core::plan_parts(
             rpc::validate_enc_header(load_be32(wire), *wire_len).value());
-        return send_message(mode_, request_tx_, mem_, *cipher_, src, plan,
-                            workspace_, tx_counters_);
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (secure_framing(secure_)) {
+                // Requests run under the epoch-free control key; the trailer
+                // carries the client's data epoch for the server's window.
+                return send_message_secure(mode_, request_tx_, mem_,
+                                           *control_cipher_, current_epoch(),
+                                           src, plan, workspace_,
+                                           tx_counters_);
+            }
+        }
+        return send_message(mode_, request_tx_, mem_, request_cipher(), src,
+                            plan, workspace_, tx_counters_);
     }
 
     // Highest contiguously committed offset in the reply stream (copies
@@ -683,6 +905,9 @@ private:
         pending_valid_ = false;
         state_.request.start_offset = resume_offset();
         state_.request.reply_isn = isn;
+        // Carry the freshest epoch: the server re-centres its key window on
+        // it, so a rekey hidden by an outage resumes cleanly.
+        state_.request.key_epoch = current_epoch();
         last_progress_us_ = clock_->now();
         if (!issue_request(state_.request)) {
             // No space on the request connection right now; retry the
@@ -698,6 +923,10 @@ private:
     path_mode mode_;
     virtual_clock* clock_;
     retry_policy policy_;
+    secure_params secure_;
+    std::optional<crypto::keychain<Cipher>> chain_;
+    std::optional<Cipher> control_cipher_;
+    secure_flow_stats sec_stats_;
     std::uint32_t request_isn_;
     tcp::tcp_sender<Mem> request_tx_;
     tcp::tcp_receiver<Mem> reply_rx_;

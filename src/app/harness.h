@@ -11,6 +11,7 @@
 #include <string>
 
 #include "app/file_transfer.h"
+#include "engine/fleet.h"
 #include "engine/shard.h"
 #include "memsim/memory_system.h"
 #include "obs/registry.h"
@@ -40,6 +41,14 @@ struct transfer_config {
     sim_time poll_step_us = 200;
     // Zero-copy adapter model (fbufs); see tcp::connection_config.
     bool zero_copy = false;
+    // Transport security (requires an aead_capable cipher); see
+    // engine::flow_config for the per-field semantics.  flow_secret 0
+    // derives one from key_seed.
+    bool secure = false;
+    std::uint32_t secure_wire_version = rpc::wire_version_secure;
+    std::uint64_t rekey_interval_bytes = 0;
+    std::uint64_t flow_secret = 0;
+    std::uint64_t client_secret_override = 0;
 };
 
 // End-to-end recovery accounting for one transfer, aggregated across both
@@ -128,6 +137,14 @@ transfer_result run_transfer(const transfer_config& config,
     fc.file_seed = config.file_seed;
     fc.deadline_us = config.deadline_us;
     fc.zero_copy = config.zero_copy;
+    fc.secure = config.secure;
+    fc.secure_wire_version = config.secure_wire_version;
+    fc.rekey_interval_bytes = config.rekey_interval_bytes;
+    fc.flow_secret = config.flow_secret;
+    fc.client_secret_override = config.client_secret_override;
+    if (fc.secure && fc.flow_secret == 0) {
+        fc.flow_secret = derive_seed(config.key_seed, 0x5ec00000ull);
+    }
 
     transfer_result result;
     if (!shard.open_flow(0, fc, client_cipher, server_cipher)) return result;
@@ -160,6 +177,10 @@ transfer_result run_transfer(const transfer_config& config,
     if (served > client.bytes_received()) {
         m.add("recovery.refetched_bytes", served - client.bytes_received());
     }
+    m.add("crypto.rekeys", server.secure_stats().rekeys);
+    m.add("crypto.epoch_adoptions", server.secure_stats().epoch_adoptions);
+    m.add("crypto.request_tag_failures", server.secure_stats().tag_failures);
+    m.add("crypto.epoch_window_hits", client.secure_stats().window_hits);
     obs::publish(m, "server.send", server.send_counters());
     obs::publish(m, "client.receive", client.receive_counters());
     m.merge(client.metrics());
@@ -184,7 +205,7 @@ transfer_result run_transfer(const transfer_config& config,
 // Convenience for native runs: both sides use raw memory.
 template <crypto::block_cipher Cipher>
 transfer_result run_transfer_native(const transfer_config& config) {
-    std::array<std::byte, 8> key;
+    std::array<std::byte, engine::cipher_key_bytes<Cipher>()> key;
     rng key_rng(config.key_seed);
     key_rng.fill(key);
     const Cipher cipher{std::span<const std::byte>(key)};
@@ -199,7 +220,7 @@ template <crypto::block_cipher Cipher>
 transfer_result run_transfer_simulated(const transfer_config& config,
                                        memsim::memory_system& client_sys,
                                        memsim::memory_system& server_sys) {
-    std::array<std::byte, 8> key;
+    std::array<std::byte, engine::cipher_key_bytes<Cipher>()> key;
     rng key_rng(config.key_seed);
     key_rng.fill(key);
     const Cipher cipher{std::span<const std::byte>(key)};

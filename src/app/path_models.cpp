@@ -7,6 +7,7 @@
 #include "core/message_plan.h"
 #include "core/stage.h"
 #include "core/word_filter.h"
+#include "crypto/aead.h"
 #include "crypto/safer_k64.h"
 #include "crypto/safer_simplified.h"
 #include "memsim/mem_policy.h"
@@ -18,6 +19,8 @@ namespace {
 
 using enc = core::encrypt_stage<crypto::safer_k64>;
 using dec = core::decrypt_stage<crypto::safer_k64>;
+using aead_enc = core::aead_encrypt_stage<crypto::aead_cipher>;
+using aead_dec = core::aead_decrypt_stage<crypto::aead_cipher>;
 
 // Representative message geometry: a 1 KiB payload behind the RPC reply
 // header.  The analyzer's geometry rules are invariant in the payload size
@@ -133,6 +136,58 @@ std::vector<analysis::finding> register_app_pipelines(
             "app-wordchain-baseline",
             "bench/bench_ablation_unit_size.cpp:run_word_filter_chain",
             pipeline_kind::word_chain, core::chain_footprints(enc_filter), 4);
+        take(registry.add(std::move(m)));
+    }
+
+    // Secure (AEAD) paths: the keystream+tag cipher replaces the block
+    // cipher inside the same fused compositions, so the B,C,A send order
+    // and the two-phase receive split must clear the same geometry rules.
+    // The 8-byte clear trailer is outside these loops (a separate mini-pass
+    // in secure_path.h), so the body geometry is unchanged.
+    using aead_send_loop = core::fused_pipeline<aead_enc, core::checksum_tap8>;
+    {
+        pipeline_model m = model(
+            "app-send-secure-ilp",
+            "src/app/secure_path.h:send_message_secure_ilp",
+            pipeline_kind::fused, aead_send_loop::footprints(),
+            aead_send_loop::unit_bytes);
+        m.out_of_order_parts = true;
+        m.parts = ilp_parts();
+        take(registry.add(std::move(m)));
+    }
+    using aead_recv_loop = core::fused_pipeline<core::checksum_tap8, aead_dec>;
+    {
+        const std::size_t total =
+            core::plan_parts(representative_marshalled).total_bytes;
+        pipeline_model m = model(
+            "app-recv-secure-ilp",
+            "src/app/secure_path.h:receive_reply_secure_ilp",
+            pipeline_kind::fused, aead_recv_loop::footprints(),
+            aead_recv_loop::unit_bytes);
+        m.parts = {{0, 24}, {24, total - 24}};
+        take(registry.add(std::move(m)));
+    }
+    {
+        pipeline_model m = model(
+            "app-send-secure-layered",
+            "src/app/secure_path.h:send_message_secure_layered",
+            pipeline_kind::layered,
+            {analysis::footprint_of<core::xdr_encode_stage>(),
+             analysis::footprint_of<aead_enc>(),
+             analysis::footprint_of<core::opaque_stage>(),
+             analysis::footprint_of<core::checksum_tap8>()},
+            8);
+        take(registry.add(std::move(m)));
+    }
+    {
+        pipeline_model m = model(
+            "app-recv-secure-layered",
+            "src/app/secure_path.h:receive_reply_secure_layered",
+            pipeline_kind::layered,
+            {analysis::footprint_of<core::checksum_tap8>(),
+             analysis::footprint_of<aead_dec>(),
+             analysis::footprint_of<core::xdr_decode_stage>()},
+            8);
         take(registry.add(std::move(m)));
     }
 

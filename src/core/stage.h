@@ -34,6 +34,7 @@
 #include "analysis/footprint.h"
 #include "checksum/crc32.h"
 #include "checksum/internet_checksum.h"
+#include "crypto/aead.h"
 #include "crypto/block_cipher.h"
 #include "memsim/mem_policy.h"
 #include "util/contracts.h"
@@ -175,6 +176,77 @@ public:
 
 private:
     const Cipher* cipher_;
+};
+
+// AEAD-shaped stages: keystream-style block transform *plus* the running
+// authentication tag in the same process_unit.  The tag is accumulated over
+// plaintext words (encrypt mixes before transforming, decrypt after
+// inverting), and the accumulation is commutative, so neither stage is
+// ordering-constrained — the out-of-order B,C,A part traversal stays legal
+// with authentication in the loop.  Cost model: same memory footprint as a
+// plain cipher stage (the tag lives in a register), which is exactly the
+// claim bench_fig11's AEAD rows test.
+
+template <crypto::aead_capable Cipher>
+class aead_encrypt_stage {
+public:
+    static constexpr std::size_t unit_bytes = Cipher::block_bytes;
+    static constexpr bool ordering_constrained = false;  // commutative tag
+    static constexpr analysis::footprint footprint_decl{
+        .name = "aead_encrypt",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = unit_bytes,
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,
+        .alignment = unit_bytes,
+        .aux_table_bytes = crypto::cipher_table_bytes<Cipher>()};
+
+    aead_encrypt_stage(const Cipher& cipher, crypto::aead_tag_accumulator& tag)
+        : cipher_(&cipher), tag_(&tag) {}
+
+    template <memsim::memory_policy Mem>
+    ILP_ALWAYS_INLINE void process_unit(const Mem& mem, std::byte* unit) const {
+        std::uint64_t plain;
+        std::memcpy(&plain, unit, 8);
+        tag_->add(cipher_->tag_mix(plain));
+        cipher_->encrypt_block(mem, unit);
+    }
+
+private:
+    const Cipher* cipher_;
+    crypto::aead_tag_accumulator* tag_;
+};
+
+template <crypto::aead_capable Cipher>
+class aead_decrypt_stage {
+public:
+    static constexpr std::size_t unit_bytes = Cipher::block_bytes;
+    static constexpr bool ordering_constrained = false;
+    static constexpr analysis::footprint footprint_decl{
+        .name = "aead_decrypt",
+        .unit_bytes = unit_bytes,
+        .reads_per_unit = unit_bytes,
+        .writes_per_unit = unit_bytes,
+        .ordering_constrained = ordering_constrained,
+        .length_known_before_loop = true,
+        .alignment = unit_bytes,
+        .aux_table_bytes = crypto::cipher_table_bytes<Cipher>()};
+
+    aead_decrypt_stage(const Cipher& cipher, crypto::aead_tag_accumulator& tag)
+        : cipher_(&cipher), tag_(&tag) {}
+
+    template <memsim::memory_policy Mem>
+    ILP_ALWAYS_INLINE void process_unit(const Mem& mem, std::byte* unit) const {
+        cipher_->decrypt_block(mem, unit);
+        std::uint64_t plain;
+        std::memcpy(&plain, unit, 8);
+        tag_->add(cipher_->tag_mix(plain));
+    }
+
+private:
+    const Cipher* cipher_;
+    crypto::aead_tag_accumulator* tag_;
 };
 
 // ---------------------------------------------------------------------------

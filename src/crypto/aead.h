@@ -1,0 +1,132 @@
+// AEAD-shaped cipher: keystream-style word transform plus an accumulated
+// authentication tag, both computed in the same pass over the data.
+//
+// Modern datacenter transports authenticate as they encrypt (AES-GCM-style):
+// one loop produces ciphertext *and* a tag that detects wrong keys and
+// payload tampering explicitly, instead of leaving corruption for the
+// checksum to maybe notice.  This cipher reproduces that *shape* at the
+// paper's 8-byte-unit granularity so the ILP question — does fusing
+// encrypt+authenticate with marshal+checksum still win on memory accesses? —
+// can be asked of a modern stage mix.
+//
+// It is a modelling artifact, not real cryptography.  Two deliberate
+// simplifications keep the stage fusable (not ordering-constrained, so the
+// out-of-order B,C,A part traversal of §3.1 stays legal):
+//   - the word transform is position-independent (pure ECB over 8-byte
+//     units, like every other cipher here);
+//   - the tag is a *commutative* accumulation (a keyed mix of each plaintext
+//     word, summed mod 2^64), so parts may be tagged in any order and the
+//     sender's B,C,A traversal equals the receiver's A,B,C tag.
+// A real AEAD binds position and order; see DESIGN.md §5e for why the
+// memory-access accounting is unaffected.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "crypto/block_cipher.h"
+#include "crypto/kdf.h"
+#include "memsim/mem_policy.h"
+#include "util/contracts.h"
+
+namespace ilp::crypto {
+
+class aead_cipher {
+public:
+    static constexpr std::size_t block_bytes = 8;
+    static constexpr std::size_t key_bytes = 16;
+
+    // Constant-based like simple_cipher: four key words live in registers,
+    // no tables compete with packet data for cache lines.
+    static constexpr std::size_t table_bytes = 0;
+
+    explicit aead_cipher(std::span<const std::byte> key) {
+        ILP_EXPECT(key.size() == key_bytes);
+        std::uint64_t k[2] = {0, 0};
+        for (std::size_t j = 0; j < key_bytes; ++j) {
+            k[j / 8] = (k[j / 8] << 8) | std::to_integer<std::uint64_t>(key[j]);
+        }
+        k_[0] = k[0] ^ 0x9e3779b97f4a7c15ull;
+        k_[1] = (k[0] * 0x2545f4914f6cdd1dull) | 1ull;  // odd => invertible
+        k_[2] = modular_inverse(k_[1]);
+        k_[3] = k[1] ^ 0xbf58476d1ce4e5b9ull;
+        k_[4] = (k[1] * 0x94d049bb133111ebull) ^ k[0];
+        zeroize_u64(k, 2);
+    }
+
+    // Key material is per-epoch and short-lived; scrub it on retirement.
+    ~aead_cipher() { zeroize_u64(k_, 5); }
+    aead_cipher(const aead_cipher&) = default;
+    aead_cipher& operator=(const aead_cipher&) = default;
+
+    template <memsim::memory_policy Mem>
+    void encrypt_block(const Mem& /*mem*/, std::byte* block) const {
+        std::uint64_t v;
+        std::memcpy(&v, block, block_bytes);
+        v ^= k_[0];
+        v = rotl(v, 19);
+        v *= k_[1];
+        v ^= k_[3];
+        std::memcpy(block, &v, block_bytes);
+    }
+
+    template <memsim::memory_policy Mem>
+    void decrypt_block(const Mem& /*mem*/, std::byte* block) const {
+        std::uint64_t v;
+        std::memcpy(&v, block, block_bytes);
+        v ^= k_[3];
+        v *= k_[2];
+        v = rotl(v, 64 - 19);
+        v ^= k_[0];
+        std::memcpy(block, &v, block_bytes);
+    }
+
+    // Keyed mix of one *plaintext* word for the authentication tag.  The tag
+    // is the sum of tag_mix over all units (mod 2^64), folded to 32 bits at
+    // the trailer — commutative, so fusion's out-of-order traversal is legal.
+    std::uint64_t tag_mix(std::uint64_t plain_word) const noexcept {
+        return (plain_word ^ k_[4]) * 0xff51afd7ed558ccdull;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, unsigned k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    // Inverse of an odd multiplier mod 2^64 by Newton iteration: each step
+    // doubles the correct low bits, five steps reach all 64.
+    static constexpr std::uint64_t modular_inverse(std::uint64_t a) noexcept {
+        std::uint64_t x = a;  // correct to 3 bits for odd a
+        for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+        return x;
+    }
+
+    // k_[0] xor-in, k_[1] odd multiplier, k_[2] its inverse, k_[3] xor-out,
+    // k_[4] tag key.  One array so the destructor scrubs it in a single sweep.
+    std::uint64_t k_[5] = {0, 1, 1, 0, 0};
+};
+
+// Ciphers that support the authenticated secure framing: keyed construction
+// (so the KDF can derive per-epoch instances) plus the tag mix.
+template <typename C>
+concept aead_capable = block_cipher<C> && requires(const C& c, std::uint64_t w,
+                                                   std::span<const std::byte> key) {
+    { C::key_bytes } -> std::convertible_to<std::size_t>;
+    C{key};
+    { c.tag_mix(w) } -> std::convertible_to<std::uint64_t>;
+};
+
+// Running tag over the units of one message.  Fused and layered paths both
+// funnel per-unit mixes through this; fold() emits the 32-bit wire tag.
+struct aead_tag_accumulator {
+    std::uint64_t sum = 0;
+
+    ILP_ALWAYS_INLINE void add(std::uint64_t mixed) noexcept { sum += mixed; }
+
+    std::uint32_t fold() const noexcept {
+        return static_cast<std::uint32_t>(sum ^ (sum >> 32));
+    }
+};
+
+}  // namespace ilp::crypto

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <span>
 
+#include "crypto/kdf.h"
 #include "memsim/mem_policy.h"
 #include "util/contracts.h"
 
@@ -31,6 +32,13 @@ public:
     static constexpr std::size_t table_bytes = 8 * 64;
 
     explicit des(std::span<const std::byte> key);
+
+    // Key hygiene: scrub the round subkeys when a keyed instance is retired
+    // (flow teardown or epoch retirement), so stale key schedules are never
+    // left behind in freed flow-table slots.
+    ~des() { zeroize_u64(subkeys_, 16); }
+    des(const des&) = default;
+    des& operator=(const des&) = default;
 
     template <memsim::memory_policy Mem>
     void encrypt_block(const Mem& mem, std::byte* block) const {

@@ -1,0 +1,149 @@
+// Session-key derivation and the per-flow epoch keychain.
+//
+// "Designing Transport-Level Encryption for Datacenter Networks" argues for
+// per-connection keys with cheap rekeying inside the transport.  This module
+// supplies the key lifecycle the four ciphers lacked: every flow owns a
+// 64-bit *flow secret* (split off the experiment's master seed with
+// util::derive_seed, so a flow's keys depend only on the master seed and its
+// flow id, never on scheduling), and each *epoch* of the flow expands the
+// secret into fresh key material via the deterministic splitmix/xoshiro
+// expansion both endpoints share.  Because derivation is deterministic there
+// is no key-exchange message: a receiver that sees a newer epoch on the wire
+// derives the key forward ("handshake-lite"), which is what lets a rekey
+// survive outages and resume through PR 1's recovery machinery.
+//
+// The keychain keeps a two-epoch window {current-1, current}: mid-flow
+// rekeying must tolerate in-flight retransmits and persist probes that were
+// encrypted under the previous epoch (the TCP ring stores ciphertext, so a
+// retransmission naturally carries the epoch it was first sent under).
+// Anything older is *retired*: its key schedule is destroyed -- the cipher
+// destructors zeroize -- and require() on it aborts, so a stale key can
+// never silently decrypt traffic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace ilp::crypto {
+
+using key_epoch = std::uint32_t;
+
+// Best-effort key-material scrubbing: volatile writes the optimizer must not
+// elide even though the object is about to die.  (The hygiene contract the
+// rekey tests assert: retired epochs leave no schedule bytes behind.)
+inline void zeroize(std::byte* data, std::size_t n) noexcept {
+    volatile std::byte* p = data;
+    for (std::size_t i = 0; i < n; ++i) p[i] = std::byte{0};
+}
+
+inline void zeroize(std::span<std::byte> data) noexcept {
+    zeroize(data.data(), data.size());
+}
+
+inline void zeroize_u64(std::uint64_t* words, std::size_t n) noexcept {
+    volatile std::uint64_t* p = words;
+    for (std::size_t i = 0; i < n; ++i) p[i] = 0;
+}
+
+// Stream ids splitting one flow secret into independent key streams.  The
+// control stream keys the request direction (epoch-free: requests are rare
+// control-plane messages); the data stream is further split by epoch.
+inline constexpr std::uint64_t kdf_stream_data = 0xda7a;
+inline constexpr std::uint64_t kdf_stream_control = 0xc07f01ull;
+
+// Expands (flow_secret, epoch) into a cipher keyed for that epoch.  Both
+// endpoints run this identically, so epoch agreement is the whole handshake.
+template <typename Cipher>
+Cipher derive_epoch_cipher(std::uint64_t flow_secret, key_epoch epoch) {
+    std::array<std::byte, Cipher::key_bytes> key;
+    rng expand(derive_seed(derive_seed(flow_secret, kdf_stream_data), epoch));
+    expand.fill(key);
+    Cipher cipher{std::span<const std::byte>(key)};
+    zeroize(key);
+    return cipher;
+}
+
+// The request-direction key: per-flow but epoch-free.
+template <typename Cipher>
+Cipher derive_control_cipher(std::uint64_t flow_secret) {
+    std::array<std::byte, Cipher::key_bytes> key;
+    rng expand(derive_seed(flow_secret, kdf_stream_control));
+    expand.fill(key);
+    Cipher cipher{std::span<const std::byte>(key)};
+    zeroize(key);
+    return cipher;
+}
+
+// Per-flow key state: the current epoch's cipher plus the previous epoch's
+// (the acceptance window for retransmitted ciphertext).  advance() retires
+// current-1; adopt() jumps the window forward to a newer epoch seen on the
+// wire (e.g. after an outage hid several rekeys).  Epochs behind the window
+// are unreachable: cipher_for() refuses them and require() aborts.
+template <typename Cipher>
+class keychain {
+public:
+    explicit keychain(std::uint64_t flow_secret) : secret_(flow_secret) {
+        current_.emplace(derive_epoch_cipher<Cipher>(secret_, 0));
+    }
+
+    std::uint64_t secret() const noexcept { return secret_; }
+    key_epoch current_epoch() const noexcept { return epoch_; }
+    const Cipher& current() const noexcept { return *current_; }
+
+    // Key for `epoch` if it is inside the two-epoch window, else nullptr
+    // (retired or not yet derived -- the caller decides whether a newer
+    // epoch warrants a forward derivation).
+    const Cipher* cipher_for(key_epoch epoch) const noexcept {
+        if (epoch == epoch_) return &*current_;
+        if (epoch + 1 == epoch_ && previous_.has_value()) return &*previous_;
+        return nullptr;
+    }
+
+    // Window lookup that treats a miss as a programming error.  The rekey
+    // death-test drives this: touching a retired epoch must abort, never
+    // hand back a stale key.
+    const Cipher& require(key_epoch epoch) const {
+        const Cipher* cipher = cipher_for(epoch);
+        ILP_EXPECT(cipher != nullptr && "epoch outside the key window");
+        return *cipher;
+    }
+
+    // Rekey: current becomes previous, current+1 is derived fresh, and the
+    // old previous (epoch current-1) is retired -- its destructor zeroizes
+    // the key schedule.
+    void advance() {
+        previous_.emplace(std::move(*current_));
+        current_.emplace(derive_epoch_cipher<Cipher>(secret_, epoch_ + 1));
+        ++epoch_;
+    }
+
+    // Receiver-side forward jump: a tag-verified segment arrived under
+    // `epoch` > current (the sender rekeyed, possibly several times during
+    // an outage).  Re-centres the window on {epoch-1, epoch}.  Returns false
+    // -- and changes nothing -- unless the jump moves forward.
+    bool adopt(key_epoch epoch) {
+        if (epoch <= epoch_) return false;
+        if (epoch == epoch_ + 1) {
+            advance();
+            return true;
+        }
+        previous_.emplace(derive_epoch_cipher<Cipher>(secret_, epoch - 1));
+        current_.emplace(derive_epoch_cipher<Cipher>(secret_, epoch));
+        epoch_ = epoch;
+        return true;
+    }
+
+private:
+    std::uint64_t secret_;
+    key_epoch epoch_ = 0;
+    std::optional<Cipher> previous_;  // epoch_ - 1; empty at epoch 0
+    std::optional<Cipher> current_;   // epoch_
+};
+
+}  // namespace ilp::crypto

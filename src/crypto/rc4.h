@@ -17,6 +17,7 @@
 #include <span>
 
 #include "analysis/footprint.h"
+#include "crypto/kdf.h"
 #include "memsim/mem_policy.h"
 #include "util/contracts.h"
 
@@ -66,6 +67,16 @@ public:
     // i/j lets tests assert serial-order sensitivity).
     std::uint8_t i() const noexcept { return i_; }
     std::uint8_t j() const noexcept { return j_; }
+
+    // Key hygiene: the permutation state is key-derived, so scrub it when
+    // the instance is retired.
+    ~rc4() {
+        zeroize(reinterpret_cast<std::byte*>(state_), sizeof(state_));
+        i_ = 0;
+        j_ = 0;
+    }
+    rc4(const rc4&) = default;
+    rc4& operator=(const rc4&) = default;
 
 private:
     alignas(8) std::uint8_t state_[256];

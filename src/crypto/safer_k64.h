@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <span>
 
+#include "crypto/kdf.h"
 #include "crypto/safer_tables.h"
 #include "memsim/mem_policy.h"
 #include "util/contracts.h"
@@ -49,6 +50,14 @@ public:
         : safer_k64(key, default_rounds) {}
 
     unsigned rounds() const noexcept { return rounds_; }
+
+    // Key hygiene: scrub the expanded key schedule when the instance is
+    // retired (flow teardown or epoch retirement).
+    ~safer_k64() {
+        zeroize(reinterpret_cast<std::byte*>(subkeys_), sizeof(subkeys_));
+    }
+    safer_k64(const safer_k64&) = default;
+    safer_k64& operator=(const safer_k64&) = default;
 
     // Encrypts/decrypts one 8-byte block in place.  `block` points at
     // scratch ("register") bytes and is accessed directly; subkeys and the

@@ -45,6 +45,10 @@ std::uint64_t fleet_report::digest() const {
         mix(h, o.elapsed_us);
         mix(h, o.rpc_retries);
         mix(h, o.tcp_retransmissions);
+        mix(h, o.rekeys);
+        mix(h, o.tag_failures);
+        mix(h, o.epoch_skews);
+        mix(h, o.epoch_window_hits);
     }
     return h;
 }
@@ -85,6 +89,10 @@ void fleet_report::finalize() {
         metrics.add("engine.tcp_retransmissions", o.tcp_retransmissions);
         metrics.add("engine.reply_packets_dropped", o.reply_packets_dropped);
         metrics.add("engine.queue_dropped", o.queue_dropped);
+        metrics.add("engine.crypto.rekeys", o.rekeys);
+        metrics.add("engine.crypto.tag_failures", o.tag_failures);
+        metrics.add("engine.crypto.epoch_skews", o.epoch_skews);
+        metrics.add("engine.crypto.epoch_window_hits", o.epoch_window_hits);
         elapsed.record(o.elapsed_us);
         bytes.record(o.payload_bytes);
     }

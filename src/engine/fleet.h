@@ -88,6 +88,17 @@ struct fleet_report {
     void finalize();
 };
 
+// Key size for the per-flow static cipher; ciphers without a declared
+// key_bytes (rc4 takes any length) get the historical 8-byte key.
+template <typename C>
+constexpr std::size_t cipher_key_bytes() {
+    if constexpr (requires { C::key_bytes; }) {
+        return C::key_bytes;
+    } else {
+        return 8;
+    }
+}
+
 // Runs `cfg.flows` transfers to completion.  `shard_mems(s)` supplies shard
 // s's (client, server) memory-policy pair — the hook that gives every shard
 // its own memsim::memory_system in simulated runs.
@@ -121,9 +132,14 @@ fleet_report run_fleet(const fleet_config& cfg, MemFactory&& shard_mems) {
     for (std::uint32_t f = 0; f < cfg.flows; ++f) {
         flow_config fc = cfg.defaults;
         if (cfg.per_flow) cfg.per_flow(f, fc);
-        // Per-flow cipher key from a flow-split stream: flow f's key is the
-        // same whatever shard it lands on.
-        std::array<std::byte, 8> key;
+        // Per-flow secrets from a flow-split stream: flow f's key material
+        // is the same whatever shard it lands on (the digest-invariance
+        // contract extends to rekeying).
+        if (fc.secure && fc.flow_secret == 0) {
+            fc.flow_secret = derive_seed(cfg.key_seed, 0x5ec00000ull + f);
+        }
+        // Per-flow static cipher key, sized for the cipher in use.
+        std::array<std::byte, cipher_key_bytes<Cipher>()> key{};
         rng key_rng(derive_seed(cfg.key_seed, f));
         key_rng.fill(key);
         const Cipher cipher{std::span<const std::byte>(key)};

@@ -42,6 +42,17 @@ struct flow_config {
     net::fault_config reverse_faults{};
     net::fault_config request_forward_faults{};
     net::fault_config request_reverse_faults{};
+    // Transport security (requires an aead_capable cipher).  The flow secret
+    // seeds the per-epoch KDF on both endpoints; 0 lets run_fleet derive one
+    // from the fleet key_seed and the flow id.  wire_version 2 negotiates
+    // the flow down to classic framing (no trailers, no rekey).
+    bool secure = false;
+    std::uint32_t secure_wire_version = rpc::wire_version_secure;
+    std::uint64_t rekey_interval_bytes = 0;
+    std::uint64_t flow_secret = 0;
+    // Test knob: derive the *client* keychain from a different secret, so a
+    // key mismatch surfaces as explicit tag failures (never silent).
+    std::uint64_t client_secret_override = 0;
 };
 
 // Terminal record of one flow.  Exactly one of completed / gave_up /
@@ -68,6 +79,13 @@ struct flow_outcome {
     // Wire bytes the shard's scheduler granted this flow (the quantity the
     // DRR fairness bound is stated over).
     std::uint64_t serviced_bytes = 0;
+    // Transport-security counters (zero for non-secure flows): server key
+    // advances, explicit client-side tag/epoch rejections, and acceptances
+    // under the previous epoch (the retransmit window earning its keep).
+    std::uint64_t rekeys = 0;
+    std::uint64_t tag_failures = 0;
+    std::uint64_t epoch_skews = 0;
+    std::uint64_t epoch_window_hits = 0;
 
     double throughput_mbps() const {
         if (elapsed_us == 0) return 0.0;

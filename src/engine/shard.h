@@ -162,24 +162,37 @@ public:
             reply_link_.reverse().configure_tag(e.tag, cfg.reverse_faults);
         }
 
+        // Both endpoints share the flow's security parameters — the
+        // deterministic KDF stands in for the key exchange.  The client-side
+        // secret override is the key-mismatch test knob.
+        app::secure_params server_sec;
+        server_sec.enabled = cfg.secure;
+        server_sec.flow_secret = cfg.flow_secret;
+        server_sec.wire_version = cfg.secure_wire_version;
+        server_sec.rekey_interval_bytes = cfg.rekey_interval_bytes;
+        app::secure_params client_sec = server_sec;
+        if (cfg.client_secret_override != 0) {
+            client_sec.flow_secret = cfg.client_secret_override;
+        }
+
         if (opts_.legacy_single_flow) {
             e.server = std::make_unique<app::file_server<Mem, Cipher>>(
                 server_mem_, e.server_cipher, clock_, request_link_,
                 reply_link_, tcp::mirrored(request_cfg), reply_cfg, cfg.mode,
-                store_);
+                store_, server_sec);
             e.client = std::make_unique<app::file_client<Mem, Cipher>>(
                 client_mem_, e.client_cipher, clock_, request_link_,
                 reply_link_, request_cfg, tcp::mirrored(reply_cfg), cfg.mode,
-                cfg.retry);
+                cfg.retry, client_sec);
         } else {
             e.server = std::make_unique<app::file_server<Mem, Cipher>>(
                 server_mem_, e.server_cipher, clock_, request_link_.reverse(),
                 reply_link_.forward(), tcp::mirrored(request_cfg), reply_cfg,
-                cfg.mode, store_);
+                cfg.mode, store_, server_sec);
             e.client = std::make_unique<app::file_client<Mem, Cipher>>(
                 client_mem_, e.client_cipher, clock_, request_link_.forward(),
                 reply_link_.reverse(), request_cfg, tcp::mirrored(reply_cfg),
-                cfg.mode, cfg.retry);
+                cfg.mode, cfg.retry, client_sec);
             // Engine flows are serviced only through the scheduler: the
             // ACK handler must not bypass the meter (and serviced_bytes
             // must account every data segment).
@@ -191,8 +204,14 @@ public:
         request.request_id = 7 + id;
         request.filename = e.file;
         request.copy_count = cfg.copies;
+        // Secure framing spends 8 of the per-packet wire budget on the
+        // trailer; the payload shrinks so segments still fit the budget.
+        const bool secure_framing =
+            cfg.secure && cfg.secure_wire_version == rpc::wire_version_secure;
         request.max_reply_payload = static_cast<std::uint32_t>(
-            rpc::max_payload_for_wire(cfg.packet_wire_bytes));
+            secure_framing
+                ? rpc::max_payload_for_secure_wire(cfg.packet_wire_bytes)
+                : rpc::max_payload_for_wire(cfg.packet_wire_bytes));
         e.started_at = clock_.now();
         bool issued = false;
         if (request.max_reply_payload != 0) {
@@ -389,6 +408,11 @@ private:
         o.rpc_retries = e.client->recovery().retries;
         o.tcp_retransmissions = e.server->reply_tcp_stats().retransmissions;
         o.serviced_bytes = e.serviced_bytes;
+        o.rekeys = e.server->secure_stats().rekeys;
+        o.tag_failures = e.client->secure_stats().tag_failures +
+                         e.server->secure_stats().tag_failures;
+        o.epoch_skews = e.client->secure_stats().epoch_skews;
+        o.epoch_window_hits = e.client->secure_stats().window_hits;
         if (e.tag != 0) {
             const net::tag_stats fwd =
                 reply_link_.forward().stats_for_tag(e.tag);

@@ -126,7 +126,33 @@ void datagram_pipe::enqueue(std::size_t bytes, std::uint32_t tag) {
         if (fs.coin.next_bool(fs.faults.corrupt_probability)) {
             ++stats_.packets_corrupted;
             ILP_OBS_INSTANT("net", "corrupt");
-            const std::size_t victim = fs.coin.next_below(pkt.data.size());
+            // Always draw uniformly over the whole packet, then remap the
+            // victim into the targeted region: the RNG draw sequence is
+            // identical whatever corrupt_span says, so switching targets
+            // never perturbs the rest of the fault replay.
+            std::size_t victim = fs.coin.next_below(pkt.data.size());
+            const std::size_t header = std::min<std::size_t>(20, bytes);
+            const std::size_t tail = std::min<std::size_t>(8, bytes);
+            switch (fs.faults.corrupt_span) {
+                case corrupt_target::anywhere:
+                    break;
+                case corrupt_target::header:
+                    victim %= header;
+                    ++stats_.packets_header_corrupted;
+                    break;
+                case corrupt_target::payload:
+                    // Past the header image; tiny packets keep the full
+                    // range rather than corrupting nothing.
+                    if (bytes > header) {
+                        victim = header + victim % (bytes - header);
+                    }
+                    ++stats_.packets_payload_corrupted;
+                    break;
+                case corrupt_target::trailer_tail:
+                    victim = bytes - tail + victim % tail;
+                    ++stats_.packets_tail_corrupted;
+                    break;
+            }
             pkt.data[victim] ^= static_cast<std::byte>(
                 1u << fs.coin.next_below(8));
         }

@@ -52,6 +52,18 @@ struct outage_window {
     sim_time end_us = 0;
 };
 
+// Where a corruption flip lands.  `anywhere` is the classic uniform draw;
+// the targeted modes remap the same draw into a region of the packet, so a
+// test can aim the bit flip at the protocol header, the payload body, or
+// the trailing bytes (where the secure framing keeps its epoch+tag trailer)
+// without changing the RNG draw sequence.
+enum class corrupt_target : std::uint8_t {
+    anywhere,
+    header,        // first min(20, size) bytes — the TCP header image
+    payload,       // bytes past the header region (whole packet if tiny)
+    trailer_tail,  // last min(8, size) bytes — the secure trailer image
+};
+
 // A fault *plan*: the classic per-packet Bernoulli coins plus correlated
 // burst loss, scheduled outages, packet truncation and a finite kernel
 // queue.  Everything is driven by one seeded RNG (plus the virtual clock
@@ -60,6 +72,7 @@ struct fault_config {
     double drop_probability = 0.0;
     double duplicate_probability = 0.0;
     double corrupt_probability = 0.0;
+    corrupt_target corrupt_span = corrupt_target::anywhere;
     double reorder_probability = 0.0;
     // Deliver only a random proper prefix of the packet (models a partial
     // DMA / mid-frame cut; the checksum or header parse catches it).
@@ -86,6 +99,12 @@ struct pipe_stats {
     std::uint64_t packets_outage_dropped = 0;  // scheduled outage window
     std::uint64_t packets_queue_dropped = 0;   // finite kernel queue full
     std::uint64_t packets_truncated = 0;       // delivered, but cut short
+    // Per-target corruption breakdown (each targeted flip increments
+    // packets_corrupted plus exactly one of these; `anywhere` flips are the
+    // remainder).
+    std::uint64_t packets_header_corrupted = 0;
+    std::uint64_t packets_payload_corrupted = 0;
+    std::uint64_t packets_tail_corrupted = 0;
     // Domain crossings: one per send() (user -> kernel) and one per
     // delivered packet (kernel -> user handler).
     std::uint64_t send_crossings = 0;

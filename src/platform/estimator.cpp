@@ -1,5 +1,6 @@
 #include "platform/estimator.h"
 
+#include "crypto/aead.h"
 #include "crypto/block_cipher.h"
 #include "crypto/safer_k64.h"
 #include "crypto/safer_simplified.h"
@@ -28,6 +29,7 @@ code_sizes sizes_for(cipher_kind cipher) {
         case cipher_kind::simple: s.cipher_loop = 256; break;
         case cipher_kind::safer_full: s.cipher_loop = 2560; break;
         case cipher_kind::none: s.cipher_loop = 0; break;
+        case cipher_kind::aead: s.cipher_loop = 384; break;
     }
     return s;
 }
@@ -140,6 +142,9 @@ app::transfer_result run_dispatch(cipher_kind cipher,
                                      memsim::sim_memory(server_sys),
                                      cipher_obj, cipher_obj);
         }
+        case cipher_kind::aead:
+            return run_with_cipher<crypto::aead_cipher>(config, client_sys,
+                                                        server_sys);
     }
     ILP_EXPECT(false && "unreachable");
     return {};
@@ -160,6 +165,10 @@ cipher_profile profile_for(cipher_kind kind) {
             return {"SAFER K-64 (6 rounds)", 29.0, true};
         case cipher_kind::none:
             return {"none", 0.0, false};
+        case cipher_kind::aead:
+            // xor/rotate/multiply plus the tag mix: ~12 register ops per
+            // 8-byte word.
+            return {"aead (keystream+tag)", 1.5, false};
     }
     ILP_EXPECT(false && "unreachable");
     return {};

@@ -25,6 +25,7 @@ enum class cipher_kind {
     simple,            // constant-based cipher (§4.1)
     safer_full,        // full 6-round SAFER K-64 (complexity ablation)
     none,              // null cipher (framework ablations)
+    aead,              // keystream+tag cipher (transport-security extension)
 };
 
 // ALU cost profile of a cipher: cycles of register work per data byte (at

@@ -1,5 +1,7 @@
 #include "rpc/messages.h"
 
+#include <cstring>
+
 #include "obs/tracer.h"
 #include "util/contracts.h"
 #include "util/endian.h"
@@ -17,16 +19,23 @@ std::optional<std::size_t> marshal_request(const file_request& request,
                                            std::span<std::byte> out) {
     ILP_OBS_SPAN("rpc", "marshal_request");
     if (request.filename.size() > max_filename_bytes) return std::nullopt;
+    if (request.version != wire_version &&
+        request.version != wire_version_secure) {
+        return std::nullopt;
+    }
     xdr::writer w(out);
     const std::size_t length_slot = w.reserve_u32();  // encryption header
     w.put_u32(msg_type_request);
-    w.put_u32(wire_version);
+    w.put_u32(request.version);
     w.put_u32(request.request_id);
     w.put_string(request.filename);
     w.put_u32(request.copy_count);
     w.put_u32(request.max_reply_payload);
     w.put_u32(request.start_offset);
     w.put_u32(request.reply_isn);
+    if (request.version == wire_version_secure) {
+        w.put_u32(request.key_epoch);
+    }
     if (!w.ok()) return std::nullopt;
     const std::size_t marshalled = w.position();
     w.patch_u32(length_slot, static_cast<std::uint32_t>(marshalled));
@@ -49,13 +58,20 @@ std::optional<file_request> unmarshal_request(
                                   length - enc_header_bytes));
     file_request request;
     if (body.get_u32() != msg_type_request) return std::nullopt;
-    if (body.get_u32() != wire_version) return std::nullopt;
+    const std::uint32_t version = body.get_u32();
+    if (version != wire_version && version != wire_version_secure) {
+        return std::nullopt;
+    }
+    request.version = version;
     request.request_id = body.get_u32();
     request.filename = body.get_string(max_filename_bytes);
     request.copy_count = body.get_u32();
     request.max_reply_payload = body.get_u32();
     request.start_offset = body.get_u32();
     request.reply_isn = body.get_u32();
+    if (version == wire_version_secure) {
+        request.key_epoch = body.get_u32();
+    }
     if (!body.ok() || !body.at_end()) return std::nullopt;
     return request;
 }
@@ -121,6 +137,29 @@ std::optional<reply_header> decode_reply_header(
     h.total_bytes = r.get_u32();
     if (!r.ok() || h.msg_type != msg_type_reply) return std::nullopt;
     return h;
+}
+
+void encode_secure_trailer(const secure_trailer& trailer,
+                           std::span<std::byte> bytes) {
+    ILP_EXPECT(bytes.size() == secure_trailer_bytes);
+    const std::uint32_t epoch_be = host_to_be32(trailer.key_epoch);
+    const std::uint32_t tag_be = host_to_be32(trailer.tag);
+    std::memcpy(bytes.data(), &epoch_be, 4);
+    std::memcpy(bytes.data() + 4, &tag_be, 4);
+}
+
+secure_trailer decode_secure_trailer(std::span<const std::byte> bytes) {
+    ILP_EXPECT(bytes.size() == secure_trailer_bytes);
+    std::uint32_t epoch_be = 0;
+    std::uint32_t tag_be = 0;
+    std::memcpy(&epoch_be, bytes.data(), 4);
+    std::memcpy(&tag_be, bytes.data() + 4, 4);
+    return {.key_epoch = be32_to_host(epoch_be), .tag = be32_to_host(tag_be)};
+}
+
+std::size_t max_payload_for_secure_wire(std::size_t wire_budget) {
+    if (wire_budget <= secure_trailer_bytes) return 0;
+    return max_payload_for_wire(wire_budget - secure_trailer_bytes);
 }
 
 std::optional<std::size_t> validate_enc_header(std::uint32_t length_field,

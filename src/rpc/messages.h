@@ -41,8 +41,13 @@ inline constexpr std::uint32_t msg_type_reply = 2;
 
 // Request wire-format version.  v2 added resumable transfers: a version
 // word after msg_type plus the start_offset and reply_isn fields.  v1
-// requests (no version word) are rejected.
+// requests (no version word) are rejected.  v3 adds transport security: a
+// key_epoch word after reply_isn, and every secure message carries an
+// 8-byte clear trailer [epoch | tag] (see secure_trailer_bytes).  Endpoints
+// negotiate down: a flow configured for wire v2 runs the v2 format with no
+// trailers and no rekeying.
 inline constexpr std::uint32_t wire_version = 2;
+inline constexpr std::uint32_t wire_version_secure = 3;
 
 // Encryption header size (the length field).
 inline constexpr std::size_t enc_header_bytes = core::encryption_header_bytes;
@@ -63,6 +68,13 @@ struct file_request {
     // client and server reset their reply endpoints to it when it differs
     // from the server's current reply stream position.
     std::uint32_t reply_isn = 0;
+    // Format this request was marshalled in (v2 or v3).  Marshalling writes
+    // it; unmarshalling records what arrived so the server can reject a
+    // version that does not match the flow's negotiated framing.
+    std::uint32_t version = wire_version;
+    // v3 only: the client's current key epoch, so a server picking up a
+    // resumed flow re-centres its key window before replying.
+    std::uint32_t key_epoch = 0;
 };
 
 // Marshals a request (control-plane; requests are small and rare) into
@@ -129,6 +141,37 @@ core::gather_source make_reply_source(const reply_header& header,
 // form) into a reply_header.  `words` must hold reply_header_bytes bytes.
 std::optional<reply_header> decode_reply_header(
     std::span<const std::byte> words);
+
+// ---------------------------------------------------------------------------
+// Secure trailer (wire v3)
+//
+// Every secure message — request and reply — is the v2 wire image encrypted
+// under the epoch key, followed by an 8-byte *clear* trailer:
+//
+//   [0,4)  key epoch, big-endian (clear so the receiver can select the key
+//          before decrypting; a retransmitted segment carries the epoch it
+//          was first encrypted under)
+//   [4,8)  authentication tag, big-endian (folded AEAD accumulator over the
+//          plaintext units of the encrypted region)
+//
+// The trailer is covered by the TCP checksum but not encrypted; wire sizes
+// stay 8-aligned because the trailer is itself 8 bytes.
+
+inline constexpr std::size_t secure_trailer_bytes = 8;
+
+struct secure_trailer {
+    std::uint32_t key_epoch = 0;
+    std::uint32_t tag = 0;
+};
+
+// Encodes/decodes the trailer in `bytes` (exactly secure_trailer_bytes).
+void encode_secure_trailer(const secure_trailer& trailer,
+                           std::span<std::byte> bytes);
+secure_trailer decode_secure_trailer(std::span<const std::byte> bytes);
+
+// Largest payload whose *secure* reply (wire image + trailer) fits in
+// `wire_budget`.
+std::size_t max_payload_for_secure_wire(std::size_t wire_budget);
 
 // ---------------------------------------------------------------------------
 // Encryption header helpers
