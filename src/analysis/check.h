@@ -21,8 +21,9 @@
 //   W3-register-pressure warn Le exceeds what registers can hold (§2.2)
 //   N1-tap-domain   note   what an observe-only tap covers (cipher-text vs
 //                          plain-text checksums)
-//   A1-redundant-touch / A2-missed-touch: emitted by the runtime word-touch
-//                          auditor (touch_audit.h), not by this checker.
+//   A1-redundant-touch / A2-missed-touch / A3-copy-count: emitted by the
+//                          runtime word-touch auditor (touch_audit.h), not
+//                          by this checker.
 #pragma once
 
 #include <string>

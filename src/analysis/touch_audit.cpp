@@ -55,6 +55,32 @@ void report(std::vector<finding>& out, const std::string& site,
 
 }  // namespace
 
+std::vector<finding> audit_copy_count(const memsim::touch_map& map,
+                                      std::size_t budget_bytes,
+                                      const std::string& site,
+                                      const std::string& pipeline) {
+    std::uint64_t written = 0;
+    for (std::size_t ri = 0; ri < map.range_count(); ++ri) {
+        const std::size_t n = map.size(ri);
+        for (std::size_t i = 0; i < n; ++i) written += map.at(ri, i).writes;
+    }
+    std::vector<finding> out;
+    if (written > budget_bytes) {
+        finding f;
+        f.sev = severity::error;
+        f.rule = "A3-copy-count";
+        f.site = site;
+        f.pipeline = pipeline;
+        f.message = "watched ranges absorbed " + std::to_string(written) +
+                    " byte writes, budget is " +
+                    std::to_string(budget_bytes) +
+                    " — a staging copy survives on a path that claims to "
+                    "process data in place";
+        out.push_back(std::move(f));
+    }
+    return out;
+}
+
 std::vector<finding> audit_touches(
     const memsim::touch_map& map,
     const std::vector<touch_expectation>& expectations,

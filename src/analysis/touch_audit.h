@@ -14,6 +14,11 @@
 //                              memory or data bounces through a staging pass
 //   A2-missed-touch     error  a byte the loop should have processed was
 //                              never touched (torn plan, skipped part)
+//   A3-copy-count       error  total bytes written across the watched
+//                              ranges exceed the path's write budget — some
+//                              word landed at more than one address, so a
+//                              staging copy survives on a path that claims
+//                              to process data in place
 //
 // Scratch ("register") traffic is invisible here by construction: the loop
 // works on locals, and only accesses routed through the memory policy are
@@ -44,5 +49,15 @@ std::vector<finding> audit_touches(
     const memsim::touch_map& map,
     const std::vector<touch_expectation>& expectations,
     const std::string& site, const std::string& pipeline);
+
+// Copy-count audit (A3): sums every write observed across ALL watched
+// ranges, with multiplicity, and flags the run when the total exceeds
+// `budget_bytes`.  For a zero-copy receive the budget is exactly the
+// payload size — the only writes on the path are the payload landing in its
+// destination, so one extra written byte proves a staging copy survived.
+std::vector<finding> audit_copy_count(const memsim::touch_map& map,
+                                      std::size_t budget_bytes,
+                                      const std::string& site,
+                                      const std::string& pipeline);
 
 }  // namespace ilp::analysis

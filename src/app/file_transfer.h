@@ -21,6 +21,7 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "app/path_mode.h"
@@ -119,6 +120,15 @@ public:
         request_rx_.set_processor([this](std::span<std::byte> payload) {
             return process_request(payload);
         });
+        if (mode_ == path_mode::ilp) {
+            // Zero-copy deliveries (on_segment) run the fused request path
+            // in place over the loaned chain; the layered path has no chain
+            // processor, so TCP stages a counted copy for it instead.
+            request_rx_.set_chain_processor(
+                [this](const const_ring_span& payload) {
+                    return process_request(payload);
+                });
+        }
         request_rx_.set_accept_handler(
             [this](std::size_t wire_len) { on_request(wire_len); });
     }
@@ -136,8 +146,17 @@ public:
         // Packet handlers fire from inside clock.advance() (delivery timers),
         // outside pump()/poll() — the attribution scope must travel with
         // them, or their memory traffic would be charged to no side.
-        request_link.forward().set_receiver(
-            [this](std::span<const std::byte> p) { on_request_packet(p); });
+        if (request_cfg.zero_copy) {
+            // Zero-copy receive: the pipe loans each delivered segment as a
+            // (possibly two-span) chain over its receive ring instead of
+            // staging a user-space copy.  The loan is valid only for the
+            // duration of the handler call.
+            request_link.forward().set_segment_receiver(
+                [this](const const_ring_span& s) { on_request_segment(s); });
+        } else {
+            request_link.forward().set_receiver(
+                [this](std::span<const std::byte> p) { on_request_packet(p); });
+        }
         reply_link.reverse().set_receiver(
             [this](std::span<const std::byte> p) { on_reply_ack_packet(p); });
     }
@@ -147,6 +166,10 @@ public:
     void on_request_packet(std::span<const std::byte> p) {
         ILP_OBS_ATTR("server", obs_src_);
         request_rx_.on_packet(p);
+    }
+    void on_request_segment(const const_ring_span& s) {
+        ILP_OBS_ATTR("server", obs_src_);
+        request_rx_.on_segment(s);
     }
     void on_reply_ack_packet(std::span<const std::byte> p) {
         ILP_OBS_ATTR("server", obs_src_);
@@ -271,7 +294,10 @@ private:
     // Request-direction processor: secure framing decrypts under the
     // epoch-free control key and verifies the tag; otherwise the classic
     // path (with the KDF epoch-0 key when the flow is secure-but-v2).
-    tcp::rx_process_result process_request(std::span<std::byte> payload) {
+    // Wire is either a contiguous span (staged copy) or a const_ring_span
+    // chain (zero-copy loan); the receive-path overloads resolve by type.
+    template <typename Wire>
+    tcp::rx_process_result process_request(const Wire& payload) {
         if constexpr (crypto::aead_capable<Cipher>) {
             if (secure_framing(secure_)) {
                 secure_rx_status status;
@@ -528,6 +554,15 @@ public:
         reply_rx_.set_processor([this](std::span<std::byte> payload) {
             return process_reply(payload);
         });
+        if (mode_ == path_mode::ilp) {
+            // Zero-copy deliveries run the fused reply path in place over
+            // the loaned chain; the layered path has no chain processor, so
+            // TCP stages a counted copy for it instead.
+            reply_rx_.set_chain_processor(
+                [this](const const_ring_span& payload) {
+                    return process_reply(payload);
+                });
+        }
         reply_rx_.set_accept_handler([this](std::size_t) { commit_reply(); });
     }
 
@@ -545,8 +580,16 @@ public:
             [this](std::span<const std::byte> p) {
                 on_request_ack_packet(p);
             });
-        reply_link.forward().set_receiver(
-            [this](std::span<const std::byte> p) { on_reply_packet(p); });
+        if (reply_cfg.zero_copy) {
+            // Zero-copy receive: the pipe loans each delivered segment as a
+            // chain over its receive ring (valid only for the duration of
+            // the handler call) instead of staging a user-space copy.
+            reply_link.forward().set_segment_receiver(
+                [this](const const_ring_span& s) { on_reply_segment(s); });
+        } else {
+            reply_link.forward().set_receiver(
+                [this](std::span<const std::byte> p) { on_reply_packet(p); });
+        }
     }
 
     // Packet entry points; attribution travels with them (they fire from
@@ -558,6 +601,10 @@ public:
     void on_reply_packet(std::span<const std::byte> p) {
         ILP_OBS_ATTR("client", obs_src_);
         reply_rx_.on_packet(p);
+    }
+    void on_reply_segment(const const_ring_span& s) {
+        ILP_OBS_ATTR("client", obs_src_);
+        reply_rx_.on_segment(s);
     }
 
     // Disarms pending TCP timers.  Required before destroying a client whose
@@ -694,7 +741,10 @@ private:
         std::vector<std::uint32_t> completed_replies;  // replies reaching EOF
     };
 
-    tcp::rx_process_result process_reply(std::span<std::byte> payload) {
+    // Wire is either a contiguous span (staged copy) or a const_ring_span
+    // chain (zero-copy loan); the receive-path overloads resolve by type.
+    template <typename Wire>
+    tcp::rx_process_result process_reply(const Wire& payload) {
         const auto resolve = [this](const rpc::reply_header& h,
                                     std::size_t payload_bytes)
             -> std::span<std::byte> {
@@ -778,17 +828,25 @@ private:
     }
 
     // The classic (trailer-less) reply receive, under the keychain's key for
-    // secure-but-v2 flows and the static cipher otherwise.
-    template <typename Resolver>
-    tcp::rx_process_result plain_receive_reply(std::span<std::byte> payload,
+    // secure-but-v2 flows and the static cipher otherwise.  A chain wire can
+    // only reach the data path in ILP mode (the chain processor is installed
+    // only then; layered deliveries get a staged copy from the TCP layer).
+    template <typename Wire, typename Resolver>
+    tcp::rx_process_result plain_receive_reply(const Wire& payload,
                                                Resolver&& resolve,
                                                rpc::reply_header* header) {
-        if (mode_ == path_mode::ilp) {
+        if constexpr (std::is_same_v<std::decay_t<Wire>, const_ring_span>) {
+            ILP_EXPECT(mode_ == path_mode::ilp);
             return receive_reply_ilp(mem_, data_cipher(), payload, resolve,
                                      header, rx_counters_);
+        } else {
+            if (mode_ == path_mode::ilp) {
+                return receive_reply_ilp(mem_, data_cipher(), payload,
+                                         resolve, header, rx_counters_);
+            }
+            return receive_reply_layered(mem_, data_cipher(), payload,
+                                         resolve, header, rx_counters_);
         }
-        return receive_reply_layered(mem_, data_cipher(), payload, resolve,
-                                     header, rx_counters_);
     }
 
     const Cipher& data_cipher() const {

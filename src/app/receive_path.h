@@ -81,15 +81,39 @@ tcp::rx_process_result fail_with_remainder(const Mem& mem,
     return {acc.folded(), false};
 }
 
+// Gather-source form, for the zero-copy chain paths: checksums the
+// remainder segment by segment (the accumulator's odd-parity tracking makes
+// that correct for any chain split).  On a single-segment source this runs
+// the exact same accesses as the span form above.
+template <memsim::memory_policy Mem>
+tcp::rx_process_result fail_with_remainder(const Mem& mem,
+                                           checksum::inet_accumulator& acc,
+                                           const core::gather_source& wire,
+                                           std::size_t from,
+                                           path_counters& counters) {
+    const std::size_t n = wire.total_size();
+    for (const core::gather_segment& s :
+         wire.slice(from, n - from).segments()) {
+        acc.add_bytes(mem, std::span<const std::byte>{s.data, s.len}, 8);
+    }
+    counters.checksum_pass_bytes += n - from;
+    return {acc.folded(), false};
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
 // Reply receive paths
 
+// Primary (zero-copy) form: the wire arrives as a loaned kernel-segment
+// chain — up to two spans around the receive-ring wrap — and the fused loop
+// reads it in place, exactly once, with no reassembly copy.  The contiguous
+// overload below delegates here with a single-piece chain, so the copying
+// mode runs the identical access sequence it always has.
 template <memsim::memory_policy Mem, crypto::block_cipher Cipher,
           reply_dest_resolver Resolver>
 tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
-                                         std::span<std::byte> wire,
+                                         const const_ring_span& wire,
                                          Resolver&& resolve,
                                          rpc::reply_header* out_header,
                                          path_counters& counters) {
@@ -97,9 +121,10 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
     counters.wire_bytes += n;
     ILP_OBS_SPAN("app", "receive_ilp");
     checksum::inet_accumulator acc;
+    const core::gather_source src = core::chain_source(wire);
     if (n < rpc::reply_payload_offset + 4 ||
         n % core::encryption_unit_bytes != 0) {
-        return detail::fail_with_remainder(mem, acc, wire, 0, counters);
+        return detail::fail_with_remainder(mem, acc, src, 0, counters);
     }
 
     core::checksum_tap8 tap(acc);            // over the ciphertext...
@@ -118,8 +143,7 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
         ILP_OBS_SPAN("app", "receive_header_phase");
         core::scatter_dest dst;
         dst.add(staging.bytes(), core::segment_op::xdr_words);
-        loop.run(mem, core::span_source(wire.first(detail::reply_header_region)),
-                 dst);
+        loop.run(mem, src.slice(0, detail::reply_header_region), dst);
     }
     counters.fused_loop_bytes += detail::reply_header_region;
     counters.cipher_bytes += detail::reply_header_region;
@@ -130,14 +154,14 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
         *marshalled < rpc::reply_payload_offset ||
         header.msg_type != rpc::msg_type_reply) {
         return detail::fail_with_remainder(
-            mem, acc, wire, detail::reply_header_region, counters);
+            mem, acc, src, detail::reply_header_region, counters);
     }
     const std::size_t payload_bytes =
         *marshalled - rpc::reply_payload_offset;
     const std::span<std::byte> dest = resolve(header, payload_bytes);
     if (dest.size() != payload_bytes) {
         return detail::fail_with_remainder(
-            mem, acc, wire, detail::reply_header_region, counters);
+            mem, acc, src, detail::reply_header_region, counters);
     }
 
     // Phase 2: the opaque length word, the payload (straight into the
@@ -152,7 +176,8 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
         const std::size_t pad = n - rpc::reply_payload_offset - payload_bytes;
         if (pad > 0) dst.add_discard(pad);
         loop.run(mem,
-                 core::span_source(wire.subspan(detail::reply_header_region)),
+                 src.slice(detail::reply_header_region,
+                           n - detail::reply_header_region),
                  dst);
     }
     const std::size_t body = n - detail::reply_header_region;
@@ -163,6 +188,19 @@ tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
 
     if (out_header != nullptr) *out_header = header;
     return {acc.folded(), opaque_len == payload_bytes};
+}
+
+// Contiguous overload (the staged-copy mode and all unit fixtures).
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher,
+          reply_dest_resolver Resolver>
+tcp::rx_process_result receive_reply_ilp(const Mem& mem, const Cipher& cipher,
+                                         std::span<std::byte> wire,
+                                         Resolver&& resolve,
+                                         rpc::reply_header* out_header,
+                                         path_counters& counters) {
+    return receive_reply_ilp(mem, cipher, const_ring_span{wire, {}},
+                             std::forward<Resolver>(resolve), out_header,
+                             counters);
 }
 
 template <memsim::memory_policy Mem, crypto::block_cipher Cipher,
@@ -279,6 +317,35 @@ tcp::rx_process_result receive_request(path_mode mode, const Mem& mem,
         core::copy_pass(mem, wire, staging.first(n));
         counters.copy_pass_bytes += n;
     }
+    counters.cipher_bytes += n;
+    ++counters.messages;
+    return {acc.folded(), true};
+}
+
+// Zero-copy (chain) form of the request receive.  ILP mode only: the
+// layered path decrypts the wire in place, which a read-only loan cannot
+// support, so the TCP layer stages a counted copy for it and calls the
+// span overload instead.
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
+tcp::rx_process_result receive_request(path_mode mode, const Mem& mem,
+                                       const Cipher& cipher,
+                                       const const_ring_span& wire,
+                                       std::span<std::byte> staging,
+                                       path_counters& counters) {
+    ILP_EXPECT(mode == path_mode::ilp);
+    const std::size_t n = wire.size();
+    counters.wire_bytes += n;
+    ILP_OBS_SPAN("app", "receive_request");
+    checksum::inet_accumulator acc;
+    const core::gather_source src = core::chain_source(wire);
+    if (n % core::encryption_unit_bytes != 0 || n > staging.size()) {
+        return detail::fail_with_remainder(mem, acc, src, 0, counters);
+    }
+    core::checksum_tap8 tap(acc);
+    core::decrypt_stage<Cipher> dec(cipher);
+    auto loop = core::make_pipeline(tap, dec);
+    loop.run(mem, src, core::span_dest(staging.first(n)));
+    counters.fused_loop_bytes += n;
     counters.cipher_bytes += n;
     ++counters.messages;
     return {acc.folded(), true};

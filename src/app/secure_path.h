@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <span>
 
@@ -222,6 +223,29 @@ bool send_message_secure(path_mode mode, tcp::tcp_sender<Mem>& sender,
 
 namespace detail {
 
+// Decodes the clear trailer from a (possibly two-piece) chain.  The flatten
+// is raw and uncounted, mirroring the contiguous path where
+// decode_secure_trailer reads the wire without going through the memory
+// policy; the *counted* trailer touches are the checksum ones below.
+inline rpc::secure_trailer decode_trailer_chain(const const_ring_span& t) {
+    alignas(8) std::byte tmp[rpc::secure_trailer_bytes];
+    ILP_EXPECT(t.size() == rpc::secure_trailer_bytes);
+    std::memcpy(tmp, t.first.data(), t.first.size());
+    if (!t.second.empty()) {
+        std::memcpy(tmp + t.first.size(), t.second.data(), t.second.size());
+    }
+    return rpc::decode_secure_trailer({tmp, rpc::secure_trailer_bytes});
+}
+
+// Counted checksum over a chain, segment by segment (parity-tracked, so any
+// split offset folds to the same sum as the contiguous pass).
+template <memsim::memory_policy Mem>
+void checksum_chain(const Mem& mem, checksum::inet_accumulator& acc,
+                    const const_ring_span& data) {
+    acc.add_bytes(mem, data.first, 8);
+    if (!data.second.empty()) acc.add_bytes(mem, data.second, 8);
+}
+
 // A failure discovered after decryption started: finish decrypting the rest
 // of the body into a discard destination so the tag accumulator is complete,
 // checksum the clear trailer, and classify — a disagreeing tag means wrong
@@ -242,6 +266,35 @@ tcp::rx_process_result fail_secure_body(
         counters.cipher_bytes += body - from;
     }
     core::checksum_pass(mem, acc, wire.subspan(body), 8);
+    counters.checksum_pass_bytes += rpc::secure_trailer_bytes;
+    if (status != nullptr) {
+        status->cause = tag.fold() == trailer.tag
+                            ? secure_rx_cause::malformed
+                            : secure_rx_cause::tag_mismatch;
+    }
+    return {acc.folded(), false};
+}
+
+// Gather-source form for the zero-copy chain path; single-segment sources
+// run the exact same accesses as the span form above.
+template <memsim::memory_policy Mem, typename Loop>
+tcp::rx_process_result fail_secure_body(
+    const Mem& mem, Loop& loop, checksum::inet_accumulator& acc,
+    const crypto::aead_tag_accumulator& tag,
+    const rpc::secure_trailer& trailer, const core::gather_source& wire,
+    std::size_t from, secure_rx_status* status, path_counters& counters) {
+    const std::size_t body = wire.total_size() - rpc::secure_trailer_bytes;
+    if (from < body) {
+        core::scatter_dest discard;
+        discard.add_discard(body - from);
+        loop.run(mem, wire.slice(from, body - from), discard);
+        counters.fused_loop_bytes += body - from;
+        counters.cipher_bytes += body - from;
+    }
+    for (const core::gather_segment& s :
+         wire.slice(body, rpc::secure_trailer_bytes).segments()) {
+        acc.add_bytes(mem, std::span<const std::byte>{s.data, s.len}, 8);
+    }
     counters.checksum_pass_bytes += rpc::secure_trailer_bytes;
     if (status != nullptr) {
         status->cause = tag.fold() == trailer.tag
@@ -282,11 +335,16 @@ const Cipher* select_rx_cipher(crypto::keychain<Cipher>& chain,
 // through the fused tap+aead-decrypt loop in the same two-phase shape as
 // receive_reply_ilp, tag compared at the end.  Adopts forward epochs into
 // the keychain only after the tag verifies.
+//
+// Primary (zero-copy) form over a loaned kernel-segment chain.  The clear
+// trailer is what makes this possible under rule R2: every header and
+// trailer size is known *before* the fused loop starts, straight off the
+// loan, so the loop can stream the ciphertext in place with no reassembly.
 template <memsim::memory_policy Mem, crypto::aead_capable Cipher,
           reply_dest_resolver Resolver>
 tcp::rx_process_result receive_reply_secure_ilp(
     const Mem& mem, crypto::keychain<Cipher>& chain,
-    std::span<std::byte> wire, Resolver&& resolve,
+    const const_ring_span& wire, Resolver&& resolve,
     rpc::reply_header* out_header, secure_rx_status* status,
     path_counters& counters) {
     const std::size_t n = wire.size();
@@ -294,13 +352,14 @@ tcp::rx_process_result receive_reply_secure_ilp(
     ILP_OBS_SPAN("app", "receive_secure_ilp");
     checksum::inet_accumulator acc;
     if (status != nullptr) *status = {};
+    const core::gather_source src = core::chain_source(wire);
     if (n < rpc::reply_payload_offset + 4 + rpc::secure_trailer_bytes ||
         n % core::encryption_unit_bytes != 0) {
-        return detail::fail_with_remainder(mem, acc, wire, 0, counters);
+        return detail::fail_with_remainder(mem, acc, src, 0, counters);
     }
     const std::size_t body = n - rpc::secure_trailer_bytes;
-    const rpc::secure_trailer trailer =
-        rpc::decode_secure_trailer(wire.subspan(body));
+    const rpc::secure_trailer trailer = detail::decode_trailer_chain(
+        wire.subspan(body, rpc::secure_trailer_bytes));
 
     std::optional<Cipher> derived;
     const Cipher* cipher =
@@ -308,7 +367,7 @@ tcp::rx_process_result receive_reply_secure_ilp(
     if (cipher == nullptr) {
         // Stale epoch: nothing we can decrypt; checksum everything so TCP
         // can verdict, and report the skew explicitly.
-        return detail::fail_with_remainder(mem, acc, wire, 0, counters);
+        return detail::fail_with_remainder(mem, acc, src, 0, counters);
     }
 
     crypto::aead_tag_accumulator tag;
@@ -325,9 +384,7 @@ tcp::rx_process_result receive_reply_secure_ilp(
         ILP_OBS_SPAN("app", "receive_header_phase");
         core::scatter_dest dst;
         dst.add(staging.bytes(), core::segment_op::xdr_words);
-        loop.run(mem,
-                 core::span_source(wire.first(detail::reply_header_region)),
-                 dst);
+        loop.run(mem, src.slice(0, detail::reply_header_region), dst);
     }
     counters.fused_loop_bytes += detail::reply_header_region;
     counters.cipher_bytes += detail::reply_header_region;
@@ -336,14 +393,14 @@ tcp::rx_process_result receive_reply_secure_ilp(
     const rpc::reply_header header = staging.to_header();
     if (!marshalled.has_value() || *marshalled < rpc::reply_payload_offset ||
         header.msg_type != rpc::msg_type_reply) {
-        return detail::fail_secure_body(mem, loop, acc, tag, trailer, wire,
+        return detail::fail_secure_body(mem, loop, acc, tag, trailer, src,
                                         detail::reply_header_region, status,
                                         counters);
     }
     const std::size_t payload_bytes = *marshalled - rpc::reply_payload_offset;
     const std::span<std::byte> dest = resolve(header, payload_bytes);
     if (dest.size() != payload_bytes) {
-        return detail::fail_secure_body(mem, loop, acc, tag, trailer, wire,
+        return detail::fail_secure_body(mem, loop, acc, tag, trailer, src,
                                         detail::reply_header_region, status,
                                         counters);
     }
@@ -358,16 +415,15 @@ tcp::rx_process_result receive_reply_secure_ilp(
         const std::size_t pad =
             body - rpc::reply_payload_offset - payload_bytes;
         if (pad > 0) dst.add_discard(pad);
-        loop.run(
-            mem,
-            core::span_source(wire.subspan(detail::reply_header_region,
-                                           body -
-                                               detail::reply_header_region)),
-            dst);
+        loop.run(mem,
+                 src.slice(detail::reply_header_region,
+                           body - detail::reply_header_region),
+                 dst);
     }
     counters.fused_loop_bytes += body - detail::reply_header_region;
     counters.cipher_bytes += body - detail::reply_header_region;
-    core::checksum_pass(mem, acc, wire.subspan(body), 8);
+    detail::checksum_chain(mem, acc,
+                           wire.subspan(body, rpc::secure_trailer_bytes));
     counters.checksum_pass_bytes += rpc::secure_trailer_bytes;
 
     if (tag.fold() != trailer.tag) {
@@ -387,6 +443,21 @@ tcp::rx_process_result receive_reply_secure_ilp(
     counters.payload_bytes += payload_bytes;
     if (out_header != nullptr) *out_header = header;
     return {acc.folded(), true};
+}
+
+// Contiguous overload (the staged-copy mode and all unit fixtures):
+// delegates with a single-piece chain, so it runs the identical access
+// sequence it always has.
+template <memsim::memory_policy Mem, crypto::aead_capable Cipher,
+          reply_dest_resolver Resolver>
+tcp::rx_process_result receive_reply_secure_ilp(
+    const Mem& mem, crypto::keychain<Cipher>& chain,
+    std::span<std::byte> wire, Resolver&& resolve,
+    rpc::reply_header* out_header, secure_rx_status* status,
+    path_counters& counters) {
+    return receive_reply_secure_ilp(mem, chain, const_ring_span{wire, {}},
+                                    std::forward<Resolver>(resolve),
+                                    out_header, status, counters);
 }
 
 // Layered secure reply receive: checksum pass (body + trailer), aead pass in
@@ -505,6 +576,22 @@ tcp::rx_process_result receive_reply_secure(
                                         out_header, status, counters);
 }
 
+// Chain dispatcher: only the ILP path can consume a read-only loan (the
+// layered path decrypts in place), so the TCP layer routes chains here only
+// when a chain processor is installed — i.e. in ILP mode.
+template <memsim::memory_policy Mem, crypto::aead_capable Cipher,
+          reply_dest_resolver Resolver>
+tcp::rx_process_result receive_reply_secure(
+    path_mode mode, const Mem& mem, crypto::keychain<Cipher>& chain,
+    const const_ring_span& wire, Resolver&& resolve,
+    rpc::reply_header* out_header, secure_rx_status* status,
+    path_counters& counters) {
+    ILP_EXPECT(mode == path_mode::ilp);
+    return receive_reply_secure_ilp(mem, chain, wire,
+                                    std::forward<Resolver>(resolve),
+                                    out_header, status, counters);
+}
+
 // Secure request receive (server side): requests travel under the flow's
 // epoch-free *control* key, so the trailer epoch is informational only.
 // Decrypts the body into `staging` (the caller parses it with
@@ -548,6 +635,52 @@ tcp::rx_process_result receive_request_secure(
     }
     counters.cipher_bytes += body;
     core::checksum_pass(mem, acc, wire.subspan(body), 8);
+    counters.checksum_pass_bytes += rpc::secure_trailer_bytes;
+
+    if (tag.fold() != trailer.tag) {
+        if (status != nullptr) status->cause = secure_rx_cause::tag_mismatch;
+        return {acc.folded(), false};
+    }
+    if (status != nullptr) status->cause = secure_rx_cause::ok;
+    ++counters.messages;
+    return {acc.folded(), true};
+}
+
+// Zero-copy (chain) form of the secure request receive, ILP mode only (see
+// the plain-path chain overload for the rationale): trailer decoded off the
+// loan first (R2), body fused-decrypted straight out of the chain into the
+// parse staging, trailer checksummed in place.
+template <memsim::memory_policy Mem, crypto::aead_capable Cipher>
+tcp::rx_process_result receive_request_secure(
+    path_mode mode, const Mem& mem, const Cipher& control_cipher,
+    const const_ring_span& wire, std::span<std::byte> staging,
+    secure_rx_status* status, path_counters& counters) {
+    ILP_EXPECT(mode == path_mode::ilp);
+    const std::size_t n = wire.size();
+    counters.wire_bytes += n;
+    ILP_OBS_SPAN("app", "receive_request_secure");
+    checksum::inet_accumulator acc;
+    if (status != nullptr) *status = {};
+    const core::gather_source src = core::chain_source(wire);
+    if (n <= rpc::secure_trailer_bytes ||
+        n % core::encryption_unit_bytes != 0 ||
+        n - rpc::secure_trailer_bytes > staging.size()) {
+        return detail::fail_with_remainder(mem, acc, src, 0, counters);
+    }
+    const std::size_t body = n - rpc::secure_trailer_bytes;
+    const rpc::secure_trailer trailer = detail::decode_trailer_chain(
+        wire.subspan(body, rpc::secure_trailer_bytes));
+    if (status != nullptr) status->epoch = trailer.key_epoch;
+
+    crypto::aead_tag_accumulator tag;
+    core::checksum_tap8 tap(acc);
+    core::aead_decrypt_stage<Cipher> dec(control_cipher, tag);
+    auto loop = core::make_pipeline(tap, dec);
+    loop.run(mem, src.slice(0, body), core::span_dest(staging.first(body)));
+    counters.fused_loop_bytes += body;
+    counters.cipher_bytes += body;
+    detail::checksum_chain(mem, acc,
+                           wire.subspan(body, rpc::secure_trailer_bytes));
     counters.checksum_pass_bytes += rpc::secure_trailer_bytes;
 
     if (tag.fold() != trailer.tag) {

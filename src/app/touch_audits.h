@@ -173,4 +173,65 @@ audit_outcome audit_fused_receive(const Cipher& cipher,
     return out;
 }
 
+// Audits the zero-copy fused receive: the genuine chain-taking
+// receive_reply_ilp over a wire image deliberately staged as a two-piece
+// ring loan (the arena's tail holds the first piece, its head the second —
+// exactly the shape datagram_pipe hands out across the ring wrap).  On top
+// of the exactly-once expectations, the copy-count audit (A3) proves no
+// staging pass survives: the only writes on the whole watched path are the
+// payload bytes landing in their destination.
+template <crypto::block_cipher Cipher>
+audit_outcome audit_zero_copy_receive(const Cipher& cipher,
+                                      std::size_t payload_bytes = 1024) {
+    const rpc::reply_layout layout = rpc::layout_reply(payload_bytes);
+    byte_buffer payload(payload_bytes);
+    rng(17).fill(payload.span());
+    byte_buffer wire(layout.wire_bytes);
+    detail::build_wire(cipher, layout, payload.span(), wire.span());
+
+    // Stage the wire as a wrap-straddling loan, split at an odd offset so
+    // the chain cut lands mid-word inside the payload region.
+    const std::size_t split = layout.wire_bytes / 2 + 3;
+    byte_buffer arena(layout.wire_bytes + 64);
+    std::byte* piece_a = arena.data() + arena.size() - split;
+    std::byte* piece_b = arena.data();
+    std::memcpy(piece_a, wire.data(), split);
+    std::memcpy(piece_b, wire.data() + split, layout.wire_bytes - split);
+    const_ring_span chain;
+    chain.first = {piece_a, split};
+    chain.second = {piece_b, layout.wire_bytes - split};
+
+    byte_buffer dest(payload_bytes);
+    memsim::memory_system sys(memsim::test_tiny());
+    memsim::touch_map map;
+    map.watch("kernel-a", piece_a, split);
+    map.watch("kernel-b", piece_b, layout.wire_bytes - split);
+    map.watch("reply-dest", dest.data(), dest.size());
+    sys.set_touch_map(&map);
+    const memsim::sim_memory mem(sys);
+
+    path_counters counters;
+    rpc::reply_header header;
+    const tcp::rx_process_result result = receive_reply_ilp(
+        mem, cipher, chain,
+        [&](const rpc::reply_header&, std::size_t n) -> std::span<std::byte> {
+            return n == dest.size() ? dest.span() : std::span<std::byte>{};
+        },
+        &header, counters);
+    sys.set_touch_map(nullptr);
+
+    audit_outcome out;
+    out.findings = analysis::audit_touches(
+        map, {{"kernel-a", 1, 0}, {"kernel-b", 1, 0}, {"reply-dest", 0, 1}},
+        "src/app/receive_path.h:receive_reply_ilp", "app-recv-zero-copy");
+    const auto copies = analysis::audit_copy_count(
+        map, payload_bytes, "src/app/receive_path.h:receive_reply_ilp",
+        "app-recv-zero-copy");
+    out.findings.insert(out.findings.end(), copies.begin(), copies.end());
+    out.round_trip_ok =
+        result.ok &&
+        std::memcmp(dest.data(), payload.data(), payload_bytes) == 0;
+    return out;
+}
+
 }  // namespace ilp::app

@@ -29,6 +29,24 @@ struct const_ring_span {
     std::span<const std::byte> second;
 
     std::size_t size() const noexcept { return first.size() + second.size(); }
+
+    // Sub-range [offset, offset+len) of the chained bytes, re-expressed as
+    // a (possibly still two-piece) chain.  Pure span arithmetic — no memory
+    // accesses — so a receiver can peel a header or trailer off a loaned
+    // kernel segment without copying any of it.
+    const_ring_span subspan(std::size_t offset, std::size_t len) const {
+        const_ring_span out;
+        if (offset < first.size()) {
+            const std::size_t take = len < first.size() - offset
+                                         ? len
+                                         : first.size() - offset;
+            out.first = first.subspan(offset, take);
+            if (take < len) out.second = second.subspan(0, len - take);
+        } else {
+            out.first = second.subspan(offset - first.size(), len);
+        }
+        return out;
+    }
 };
 
 class ring_buffer {

@@ -132,6 +132,17 @@ inline scatter_dest ring_dest(const ring_span& dst) {
     return out;
 }
 
+// Source reading straight out of a loaned kernel-segment chain (up to two
+// spans when the packet straddles the receive-ring wrap) — the zero-copy
+// receive handoff: the fused loop consumes the wire bytes in place, with no
+// reassembly copy ahead of it.
+inline gather_source chain_source(const const_ring_span& chain) {
+    gather_source src;
+    if (!chain.first.empty()) src.add(chain.first);
+    if (!chain.second.empty()) src.add(chain.second);
+    return src;
+}
+
 // Read-only sink (e.g. a verification pass that only feeds checksum taps).
 inline scatter_dest null_dest(std::size_t n) {
     scatter_dest out;

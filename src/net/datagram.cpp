@@ -14,7 +14,8 @@ datagram_pipe::datagram_pipe(virtual_clock& clock, sim_time latency_us,
       faults_(faults),
       untagged_(faults, faults.seed),
       kernel_staging_(max_packet_bytes),
-      deliver_buffer_(max_packet_bytes) {}
+      deliver_buffer_(max_packet_bytes),
+      rx_ring_(max_packet_bytes + 512) {}
 
 void datagram_pipe::configure_tag(std::uint32_t tag,
                                   const fault_config& faults) {
@@ -189,7 +190,30 @@ void datagram_pipe::deliver_due() {
         if (it == queue_.end()) break;
 
         const std::size_t n = it->data.size();
-        std::memcpy(deliver_buffer_.data(), it->data.data(), n);
+        const_ring_span loan;
+        if (on_segment_ != nullptr) {
+            // Loaned delivery: DMA the packet into the receive ring at the
+            // current write offset, splitting it across the wrap when it
+            // does not fit contiguously.  The copy is physical but
+            // uncounted, like the deliver-buffer staging below — the model
+            // charges the receiver only for what it touches in place.
+            const std::size_t cap = rx_ring_.size();
+            const std::size_t at = rx_offset_;
+            if (at + n <= cap) {
+                std::memcpy(rx_ring_.data() + at, it->data.data(), n);
+                loan.first = {rx_ring_.data() + at, n};
+            } else {
+                const std::size_t head = cap - at;
+                std::memcpy(rx_ring_.data() + at, it->data.data(), head);
+                std::memcpy(rx_ring_.data(), it->data.data() + head,
+                            n - head);
+                loan.first = {rx_ring_.data() + at, head};
+                loan.second = {rx_ring_.data(), n - head};
+            }
+            rx_offset_ = (at + n) % cap;
+        } else {
+            std::memcpy(deliver_buffer_.data(), it->data.data(), n);
+        }
         fault_state& fs = state_for(it->tag);
         ILP_EXPECT(fs.stats.in_flight > 0);
         --fs.stats.in_flight;
@@ -197,7 +221,9 @@ void datagram_pipe::deliver_due() {
         queue_.erase(it);
         ++stats_.packets_delivered;
         ++stats_.deliver_crossings;
-        if (on_packet_ != nullptr) {
+        if (on_segment_ != nullptr) {
+            on_segment_(loan);
+        } else if (on_packet_ != nullptr) {
             on_packet_(deliver_buffer_.subspan(0, n));
         }
     }

@@ -142,11 +142,26 @@ public:
     static constexpr std::size_t max_packet_bytes = 8 * 1024;
 
     using handler = std::function<void(std::span<const std::byte>)>;
+    // Zero-copy delivery: the packet as a loan inside the pipe's receive
+    // ring — up to two spans when it straddles the ring wrap.
+    using segment_handler = std::function<void(const const_ring_span&)>;
 
     datagram_pipe(virtual_clock& clock, sim_time latency_us,
                   fault_config faults = {});
 
     void set_receiver(handler on_packet) { on_packet_ = std::move(on_packet); }
+
+    // Installs a zero-copy receiver, replacing any span handler.  Instead of
+    // staging each packet in the shared deliver buffer (which the receiver
+    // must then copy into user space), the pipe lends the packet in place
+    // inside its receive ring: the loan is valid only for the duration of
+    // the call, and the receiver either processes it in place or copies
+    // the bytes it needs to keep.  The DMA into the ring is physical but
+    // uncounted, exactly like the deliver-buffer staging it replaces — the
+    // loan removes the *counted* user-space copy, not the kernel DMA.
+    void set_segment_receiver(segment_handler on_segment) {
+        on_segment_ = std::move(on_segment);
+    }
 
     // Sends the concatenation of `parts` as one datagram.  The gather lets
     // TCP transmit a header plus (possibly wrapped) ring-buffer payload
@@ -240,8 +255,14 @@ private:
     std::map<std::uint32_t, fault_state> tagged_;
     std::size_t per_tag_queue_cap_ = 0;
     handler on_packet_;
+    segment_handler on_segment_;
     byte_buffer kernel_staging_;  // send-side kernel buffer (system copy dst)
     byte_buffer deliver_buffer_;  // receive-side kernel buffer (DMA target)
+    // Receive ring for loaned deliveries: sized a little past the largest
+    // packet so the write offset wraps at varying positions and loans
+    // regularly straddle the wrap (exercising the two-span chain path).
+    byte_buffer rx_ring_;
+    std::size_t rx_offset_ = 0;
     std::deque<in_flight_packet> queue_;
     pipe_stats stats_;
 };

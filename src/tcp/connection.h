@@ -40,12 +40,25 @@
 
 namespace ilp::tcp {
 
-// 32-bit sequence-space comparisons (wraparound-safe).
+// 32-bit sequence-space comparisons (wraparound-safe).  These are a strict
+// weak ordering only for sequence numbers less than 2^31 apart — at a
+// distance of exactly 2^31 both seq_lt(a, b) and seq_lt(b, a) hold.  The
+// sender's uses are all window-bounded, so it never sees that distance;
+// receiver-side duplicate/future classification uses seq_behind instead.
 constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) noexcept {
     return static_cast<std::int32_t>(a - b) < 0;
 }
 constexpr bool seq_leq(std::uint32_t a, std::uint32_t b) noexcept {
     return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+// True iff `a` is strictly behind `b` by less than half the sequence space —
+// the receiver's "stale duplicate" test.  Unlike seq_lt this gives a single
+// coherent verdict at the 2^31 boundary: a segment exactly 2^31 away from
+// rcv_nxt is classified as future data (out of order), never as a
+// duplicate, so recovery_report's drop accounting cannot double-classify.
+constexpr bool seq_behind(std::uint32_t a, std::uint32_t b) noexcept {
+    return (b - a) - 1u < 0x7fffffffu;
 }
 
 struct connection_config {
@@ -111,6 +124,12 @@ struct receiver_stats {
     std::uint64_t header_failures = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t rsts_received = 0;  // peer gave up on this connection
+    // RST-flagged segments rejected: carrying payload or failing checksum.
+    // Distinct from header_failures so a corrupted data segment whose
+    // header happens to show the RST bit is visible as a *suspect reset*,
+    // not lumped in with garbled headers (and it never tears the
+    // connection down).
+    std::uint64_t bad_rsts = 0;
     std::uint64_t resets = 0;         // reset() calls (re-establishments)
 };
 
@@ -503,6 +522,12 @@ public:
     // stage for every delivered message.
     using processor =
         std::function<rx_process_result(std::span<std::byte> payload)>;
+    // Zero-copy data path: the payload as a loaned kernel-segment chain (up
+    // to two spans around the receive-ring wrap), processed in place.  Only
+    // read-only paths (the fused ILP receive loop) can run this way; the
+    // layered path decrypts in place and needs the mutable staging copy.
+    using chain_processor =
+        std::function<rx_process_result(const const_ring_span& payload)>;
     using accept_handler = std::function<void(std::size_t payload_len)>;
     // Fires when a checksum-valid RST arrives: the peer's sender exhausted
     // its retries and abandoned the connection.
@@ -521,6 +546,9 @@ public:
     tcp_receiver& operator=(const tcp_receiver&) = delete;
 
     void set_processor(processor process) { process_ = std::move(process); }
+    void set_chain_processor(chain_processor process) {
+        chain_process_ = std::move(process);
+    }
     void set_accept_handler(accept_handler h) { on_accept_ = std::move(h); }
     void set_failure_handler(failure_handler h) { on_failure_ = std::move(h); }
 
@@ -541,22 +569,67 @@ public:
         ++stats_.segments_received;
 
         // --- system copy (Fig. 5 step 1): kernel buffer -> receive buffer.
+        // Always performed through the memory policy: what the model counts
+        // is what the code does.  The zero-copy mode eliminates this copy
+        // for real — the pipe lends the packet in place and delivery goes
+        // through on_segment — instead of doing it off the books.
         if (kernel_packet.size() < header_bytes ||
             kernel_packet.size() > recv_buffer_.size()) {
             ++stats_.header_failures;
             return;
         }
-        if (config_.zero_copy) {
-            // Zero-copy receive: the kernel buffer is remapped into user
-            // space instead of copied (uncounted transfer).
-            std::memcpy(recv_buffer_.data(), kernel_packet.data(),
-                        kernel_packet.size());
-        } else {
-            mem_.copy(recv_buffer_.data(), kernel_packet.data(),
-                      kernel_packet.size());
-        }
+        mem_.copy(recv_buffer_.data(), kernel_packet.data(),
+                  kernel_packet.size());
         const std::size_t payload_len = kernel_packet.size() - header_bytes;
 
+        input_staged(payload_len, [&](std::size_t len) {
+            ILP_EXPECT(process_ != nullptr);
+            return process_(recv_buffer_.subspan(header_bytes, len));
+        });
+    }
+
+    // tcp_input, zero-copy form: the arriving TPDU is a loan inside the
+    // kernel receive ring (up to two spans around the wrap).  Only the
+    // 20-byte header is staged through the memory policy — TCP must parse
+    // and verify it, so those touches are real and counted.  The payload is
+    // handed to the chain processor in place (the fused ILP loop reads it
+    // exactly once, straight out of kernel memory); without one — the
+    // layered path needs contiguous mutable memory to decrypt in place —
+    // it is pulled into the receive buffer through the memory policy, an
+    // honestly counted copy.
+    void on_segment(const const_ring_span& kernel_segment) {
+        ILP_OBS_SPAN("tcp", "input");
+        ++stats_.segments_received;
+
+        const std::size_t n = kernel_segment.size();
+        if (n < header_bytes || n > recv_buffer_.size()) {
+            ++stats_.header_failures;
+            return;
+        }
+        copy_chain(kernel_segment.subspan(0, header_bytes),
+                   recv_buffer_.data());
+        const std::size_t payload_len = n - header_bytes;
+
+        input_staged(payload_len, [&](std::size_t len) {
+            const const_ring_span payload =
+                kernel_segment.subspan(header_bytes, len);
+            if (chain_process_ != nullptr) return chain_process_(payload);
+            ILP_EXPECT(process_ != nullptr);
+            copy_chain(payload, recv_buffer_.data() + header_bytes);
+            return process_(recv_buffer_.subspan(header_bytes, len));
+        });
+    }
+
+    std::uint32_t expected_seq() const noexcept { return rcv_nxt_; }
+    const receiver_stats& stats() const noexcept { return stats_; }
+
+private:
+    // Common control path once the header image sits at the front of the
+    // receive buffer: parse + demultiplex + sequence check, then the
+    // application data manipulations via `run_process(payload_len)`, then
+    // the final accept/reject stage.
+    template <typename ProcessFn>
+    void input_staged(std::size_t payload_len, ProcessFn&& run_process) {
         // --- initial stage: parse + demultiplex + sequence check.
         header_fields h;
         if (!parse_header(recv_buffer_.subspan(0, header_bytes), h) ||
@@ -569,8 +642,9 @@ public:
             // Failure signal from the peer's sender.  Sequence numbers are
             // deliberately not checked — the whole point of the RST is to
             // reach a peer whose sequence state may have diverged — but the
-            // checksum must verify so a corrupted data segment can't tear
-            // the connection down.
+            // checksum must verify, and a genuine RST never carries
+            // payload: a corrupted data segment whose header happens to
+            // show the RST bit must not tear the connection down.
             if (payload_len == 0 &&
                 verify_segment_checksum(config_.remote_addr,
                                         config_.local_addr,
@@ -581,13 +655,13 @@ public:
                 peer_failed_ = true;
                 if (on_failure_ != nullptr) on_failure_();
             } else {
-                ++stats_.header_failures;
+                ++stats_.bad_rsts;
             }
             return;
         }
         if (h.seq != rcv_nxt_) {
             // Old duplicate or future segment (go-back-N: not buffered).
-            if (seq_lt(h.seq, rcv_nxt_)) {
+            if (seq_behind(h.seq, rcv_nxt_)) {
                 ++stats_.duplicate_drops;
             } else {
                 ++stats_.out_of_order_drops;
@@ -604,9 +678,7 @@ public:
 
         // --- ILP loop stage: the application's data manipulations run over
         // the payload now, before any TCP state is committed.
-        ILP_EXPECT(process_ != nullptr);
-        const rx_process_result result =
-            process_(recv_buffer_.subspan(header_bytes, payload_len));
+        const rx_process_result result = run_process(payload_len);
 
         // --- final stage: accept or reject.
         const bool checksum_ok = verify_segment_checksum(
@@ -630,10 +702,15 @@ public:
         if (result.ok && on_accept_ != nullptr) on_accept_(payload_len);
     }
 
-    std::uint32_t expected_seq() const noexcept { return rcv_nxt_; }
-    const receiver_stats& stats() const noexcept { return stats_; }
+    // Counted copy of a (possibly two-piece) loan into contiguous memory.
+    void copy_chain(const const_ring_span& src, std::byte* dst) {
+        mem_.copy(dst, src.first.data(), src.first.size());
+        if (!src.second.empty()) {
+            mem_.copy(dst + src.first.size(), src.second.data(),
+                      src.second.size());
+        }
+    }
 
-private:
     void send_ack() {
         ILP_OBS_SPAN("tcp", "ack_output");
         header_fields h;
@@ -661,6 +738,7 @@ private:
     byte_buffer recv_buffer_;
     std::uint32_t rcv_nxt_;
     processor process_;
+    chain_processor chain_process_;
     accept_handler on_accept_;
     failure_handler on_failure_;
     bool peer_failed_ = false;

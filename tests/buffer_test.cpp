@@ -129,6 +129,83 @@ TEST(RingBuffer, ManyWrapCyclesPreserveData) {
     EXPECT_EQ(ring.size(), mirror.size());
 }
 
+std::vector<std::byte> collect(const const_ring_span& v) {
+    std::vector<std::byte> out;
+    out.insert(out.end(), v.first.begin(), v.first.end());
+    out.insert(out.end(), v.second.begin(), v.second.end());
+    return out;
+}
+
+TEST(ConstRingSpan, SubspanWithinFirstPiece) {
+    ring_buffer ring(32);
+    ring.push(pattern(30));
+    ring.release(28);
+    ring.push(pattern(12, 50));  // wraps: first piece 4 bytes, second 8
+    const const_ring_span view = ring.peek(2, 12);
+    ASSERT_FALSE(view.second.empty());
+    const std::size_t split = view.first.size();
+
+    const const_ring_span head = view.subspan(0, split);
+    EXPECT_TRUE(head.second.empty());
+    const auto whole = pattern(12, 50);
+    EXPECT_EQ(collect(head),
+              std::vector<std::byte>(whole.begin(), whole.begin() + split));
+}
+
+TEST(ConstRingSpan, SubspanStraddlingTheWrap) {
+    ring_buffer ring(32);
+    ring.push(pattern(30));
+    ring.release(28);
+    ring.push(pattern(12, 50));
+    const const_ring_span view = ring.peek(2, 12);
+    const std::size_t split = view.first.size();
+    ASSERT_GT(split, 0u);
+    ASSERT_LT(split, 12u);
+
+    // A cut starting before the wrap and ending after it keeps both pieces.
+    const const_ring_span mid = view.subspan(split - 1, 4);
+    EXPECT_EQ(mid.first.size(), 1u);
+    EXPECT_EQ(mid.second.size(), 3u);
+    const auto whole = pattern(12, 50);
+    EXPECT_EQ(collect(mid),
+              std::vector<std::byte>(whole.begin() + split - 1,
+                                     whole.begin() + split + 3));
+}
+
+TEST(ConstRingSpan, SubspanEntirelyInSecondPiece) {
+    ring_buffer ring(32);
+    ring.push(pattern(30));
+    ring.release(28);
+    ring.push(pattern(12, 50));
+    const const_ring_span view = ring.peek(2, 12);
+    const std::size_t split = view.first.size();
+
+    const const_ring_span tail = view.subspan(split + 2, 12 - split - 2);
+    EXPECT_TRUE(tail.second.empty());  // single piece again
+    const auto whole = pattern(12, 50);
+    EXPECT_EQ(collect(tail),
+              std::vector<std::byte>(whole.begin() + split + 2, whole.end()));
+}
+
+TEST(ConstRingSpan, SubspanExhaustiveOffsets) {
+    ring_buffer ring(32);
+    ring.push(pattern(30));
+    ring.release(28);
+    ring.push(pattern(16, 7));
+    const const_ring_span view = ring.peek(2, 16);
+    const auto whole = pattern(16, 7);
+    for (std::size_t off = 0; off <= 16; ++off) {
+        for (std::size_t len = 0; len + off <= 16; ++len) {
+            const const_ring_span cut = view.subspan(off, len);
+            EXPECT_EQ(cut.size(), len);
+            EXPECT_EQ(collect(cut),
+                      std::vector<std::byte>(whole.begin() + off,
+                                             whole.begin() + off + len))
+                << "off=" << off << " len=" << len;
+        }
+    }
+}
+
 TEST(RingBuffer, WriteIndexTracksContent) {
     ring_buffer ring(32);
     EXPECT_EQ(ring.write_index(), 0u);

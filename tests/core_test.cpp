@@ -331,6 +331,32 @@ TEST(FusedPipeline, RingDestinationHandlesWrap) {
     EXPECT_EQ(out, payload);
 }
 
+TEST(FusedPipeline, ChainSourceFeedsWrappedRingPeekThroughLoop) {
+    // The zero-copy receive shape: a fused loop pulling straight from a
+    // two-piece ring view (the loan datagram_pipe hands out), no staging
+    // copy in between.
+    const auto payload = random_bytes(64, 12);
+    ring_buffer ring(96);
+    ring.push(random_bytes(80, 13));
+    ring.release(80);
+    ring.push(payload);
+    const const_ring_span view = ring.peek(0, 64);
+    ASSERT_FALSE(view.second.empty());  // really wraps
+
+    direct_memory mem;
+    fused_pipeline<> copy_pipe;
+    std::vector<std::byte> out(64);
+    copy_pipe.run(mem, chain_source(view), span_dest(out));
+    EXPECT_EQ(out, payload);
+
+    // Slicing the chain source cuts at logical offsets across the wrap.
+    const gather_source src = chain_source(view);
+    std::vector<std::byte> tail(24);
+    copy_pipe.run(mem, src.slice(40, 24), span_dest(tail));
+    EXPECT_EQ(tail, std::vector<std::byte>(payload.begin() + 40,
+                                           payload.end()));
+}
+
 TEST(FusedPipeline, IlpReducesMemoryAccessesVsLayered) {
     // The paper's headline effect (Fig. 13): the fused loop reads the data
     // once and writes it once, while the layered path pays a read+write per

@@ -182,6 +182,87 @@ TEST(ReceivePath, IlpAndLayeredAgreeOnEveryBitAndCounter) {
     EXPECT_GT(c2.checksum_pass_bytes, 0u);
 }
 
+// Stages a wire image as a two-piece chain split at `split` bytes,
+// mimicking the ring-wrap loan datagram_pipe hands out (the arena's tail
+// holds the first piece, its head the second).
+struct chain_stage {
+    byte_buffer arena;
+    const_ring_span chain;
+
+    chain_stage(std::span<const std::byte> wire, std::size_t split)
+        : arena(wire.size() + 32) {
+        std::byte* a = arena.data() + arena.size() - split;
+        std::memcpy(a, wire.data(), split);
+        std::memcpy(arena.data(), wire.data() + split, wire.size() - split);
+        chain.first = {a, split};
+        chain.second = {arena.data(), wire.size() - split};
+    }
+};
+
+TEST(ReceivePath, ChainMatchesSpanBitForBitAtManySplits) {
+    fixture span_f(200);
+    byte_buffer dest_s(200);
+    rpc::reply_header h_s;
+    path_counters c_s;
+    const auto r_s = run_path(span_f, ilp_path, dest_s.span(), &h_s, c_s);
+    ASSERT_TRUE(r_s.ok);
+
+    const std::size_t wire_bytes = span_f.wire.size();
+    const std::size_t splits[] = {1,  3,  5,  8,  21, 24, 32,
+                                  wire_bytes / 2 + 1, wire_bytes - 3,
+                                  wire_bytes - 1};
+    for (const std::size_t split : splits) {
+        fixture f(200);
+        chain_stage st(f.wire.span(), split);
+        byte_buffer dest(200);
+        rpc::reply_header h;
+        path_counters c;
+        const auto resolve = [&](const rpc::reply_header&,
+                                 std::size_t n) -> std::span<std::byte> {
+            return dest.span().subspan(0, n);
+        };
+        const auto r = receive_reply_ilp(direct_memory{}, f.cipher, st.chain,
+                                         resolve, &h, c);
+        EXPECT_EQ(r.ok, r_s.ok) << "split=" << split;
+        EXPECT_EQ(r.payload_sum, r_s.payload_sum) << "split=" << split;
+        EXPECT_EQ(std::memcmp(dest.data(), dest_s.data(), 200), 0)
+            << "split=" << split;
+        EXPECT_EQ(h.request_id, h_s.request_id);
+        EXPECT_EQ(h.offset, h_s.offset);
+        EXPECT_EQ(c.messages, c_s.messages);
+        EXPECT_EQ(c.payload_bytes, c_s.payload_bytes);
+        EXPECT_EQ(c.fused_loop_bytes, c_s.fused_loop_bytes);
+        EXPECT_EQ(c.checksum_pass_bytes, c_s.checksum_pass_bytes);
+        EXPECT_EQ(c.cipher_pass_bytes, c_s.cipher_pass_bytes);
+    }
+}
+
+TEST(ReceivePath, ChainRejectionMatchesSpanChecksum) {
+    // A corrupted wire must be rejected with the same full-ciphertext
+    // checksum whether it arrives contiguous or as a wrap-straddling chain.
+    fixture span_f(200);
+    span_f.wire.data()[1] ^= std::byte{0x5a};
+    path_counters c_s;
+    byte_buffer dest_s(200);
+    const auto r_s = run_path(span_f, ilp_path, dest_s.span(), nullptr, c_s);
+    ASSERT_FALSE(r_s.ok);
+
+    fixture f(200);
+    f.wire.data()[1] ^= std::byte{0x5a};
+    chain_stage st(f.wire.span(), 13);
+    path_counters c;
+    byte_buffer dest(200);
+    const auto resolve = [&](const rpc::reply_header&,
+                             std::size_t n) -> std::span<std::byte> {
+        return dest.span().subspan(0, n);
+    };
+    const auto r = receive_reply_ilp(direct_memory{}, f.cipher, st.chain,
+                                     resolve, nullptr, c);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.payload_sum, r_s.payload_sum);
+    EXPECT_EQ(c.checksum_pass_bytes, c_s.checksum_pass_bytes);
+}
+
 TEST(ReceivePath, SimulatedIlpTouchesLessMemory) {
     fixture f1(996), f2(996);
     memsim::memory_system sys1(memsim::supersparc_with_l2());

@@ -334,6 +334,55 @@ TEST(SecureReceive, PreviousEpochRetransmitAcceptedInWindow) {
     }
 }
 
+// Zero-copy shape: the same secure wire delivered as a two-piece ring-loan
+// chain must behave bit-identically to the contiguous span, including when
+// the split lands inside the 8-byte clear trailer (the [epoch|tag] words
+// are decoded before the fused loop starts, per the paper's R2 rule).
+TEST(SecureReceive, ChainMatchesSpanIncludingTrailerSplits) {
+    secure_fixture base(/*epoch=*/0);
+    crypto::keychain<aead_cipher> chain_s(fixture_secret);
+    byte_buffer dest_s(base.payload.size());
+    const auto status_s =
+        receive_into(base, chain_s, app::path_mode::ilp, dest_s.span());
+    ASSERT_EQ(status_s.cause, app::secure_rx_cause::ok);
+
+    const std::size_t wire_bytes = base.wire.size();
+    const std::size_t body = wire_bytes - rpc::secure_trailer_bytes;
+    const std::size_t splits[] = {1,        13,       body - 3, body,
+                                  body + 1, body + 4, body + 7};
+    for (const std::size_t split : splits) {
+        secure_fixture f(/*epoch=*/0);
+        byte_buffer arena(wire_bytes + 32);
+        std::byte* a = arena.data() + arena.size() - split;
+        std::memcpy(a, f.wire.data(), split);
+        std::memcpy(arena.data(), f.wire.data() + split, wire_bytes - split);
+        const_ring_span wire_chain;
+        wire_chain.first = {a, split};
+        wire_chain.second = {arena.data(), wire_bytes - split};
+
+        crypto::keychain<aead_cipher> kc(fixture_secret);
+        byte_buffer dest(f.payload.size());
+        rpc::reply_header header;
+        app::secure_rx_status status;
+        app::path_counters counters;
+        const auto resolve = [&](const rpc::reply_header&,
+                                 std::size_t n) -> std::span<std::byte> {
+            return dest.size() >= n ? dest.span().subspan(0, n)
+                                    : std::span<std::byte>{};
+        };
+        const auto result = app::receive_reply_secure(
+            app::path_mode::ilp, direct_memory{}, kc, wire_chain, resolve,
+            &header, &status, counters);
+        EXPECT_TRUE(result.ok) << "split=" << split;
+        EXPECT_EQ(status.cause, app::secure_rx_cause::ok) << "split=" << split;
+        EXPECT_EQ(std::memcmp(dest.data(), f.payload.data(),
+                              f.payload.size()),
+                  0)
+            << "split=" << split;
+        EXPECT_EQ(header.request_id, 9u);
+    }
+}
+
 TEST(SecureReceive, ForwardEpochIsAdoptedAfterTagVerifies) {
     secure_fixture f(/*epoch=*/3);
     crypto::keychain<aead_cipher> chain(fixture_secret);

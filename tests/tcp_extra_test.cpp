@@ -173,6 +173,146 @@ TEST(TcpHostile, CorruptedLengthFieldInPayloadIsRejectedByChecksum) {
     EXPECT_GT(receiver.stats().checksum_failures, 0u);
 }
 
+// Crafts a header-only control packet addressed to `pair`'s receiver
+// (src 10.0.0.1:5001 -> dst 10.0.0.2:5002 after mirroring); when
+// `good_checksum`, the RFC 793 pseudo-header checksum is filled in.
+std::vector<std::byte> control_packet(header_fields h, bool good_checksum) {
+    std::vector<std::byte> pkt(header_bytes);
+    serialize_header(h, pkt);
+    if (good_checksum) {
+        const std::uint16_t c =
+            finish_segment_checksum(0x0a000001, 0x0a000002, pkt, 0, 0);
+        store_be16(pkt.data() + 16, c);
+    }
+    return pkt;
+}
+
+TEST(TcpHostile, ValidRstTearsDownAndIsCounted) {
+    connection_config cfg;
+    pair p(cfg);
+    bool failed = false;
+    p.receiver.set_failure_handler([&] { failed = true; });
+
+    header_fields h;
+    h.src_port = cfg.local_port;
+    h.dst_port = cfg.remote_port;
+    h.control = flags::rst;
+    p.receiver.on_packet(control_packet(h, /*good_checksum=*/true));
+
+    EXPECT_EQ(p.receiver.stats().rsts_received, 1u);
+    EXPECT_EQ(p.receiver.stats().bad_rsts, 0u);
+    EXPECT_TRUE(p.receiver.peer_failed());
+    EXPECT_TRUE(failed);
+}
+
+TEST(TcpHostile, RstCarryingPayloadIsBadRstNotTeardown) {
+    // A corrupted data segment whose header happens to show the RST bit
+    // must not tear the connection down: genuine RSTs never carry payload.
+    connection_config cfg;
+    pair p(cfg);
+    bool failed = false;
+    p.receiver.set_failure_handler([&] { failed = true; });
+
+    header_fields h;
+    h.src_port = cfg.local_port;
+    h.dst_port = cfg.remote_port;
+    h.control = flags::rst;
+    std::vector<std::byte> pkt = control_packet(h, /*good_checksum=*/true);
+    pkt.resize(header_bytes + 4, std::byte{0xab});  // bogus payload
+    p.receiver.on_packet(pkt);
+
+    EXPECT_EQ(p.receiver.stats().rsts_received, 0u);
+    EXPECT_EQ(p.receiver.stats().bad_rsts, 1u);
+    EXPECT_FALSE(p.receiver.peer_failed());
+    EXPECT_FALSE(failed);
+
+    // The connection is still alive and transfers normally.
+    ASSERT_TRUE(p.send(message(64, 8)));
+    p.settle();
+    EXPECT_TRUE(p.sender.idle());
+    EXPECT_EQ(p.delivered.size(), 1u);
+}
+
+TEST(TcpHostile, RstWithBadChecksumIsBadRstNotTeardown) {
+    connection_config cfg;
+    pair p(cfg);
+    bool failed = false;
+    p.receiver.set_failure_handler([&] { failed = true; });
+
+    header_fields h;
+    h.src_port = cfg.local_port;
+    h.dst_port = cfg.remote_port;
+    h.control = flags::rst;
+    h.checksum = 0xbeef;  // wrong
+    p.receiver.on_packet(control_packet(h, /*good_checksum=*/false));
+
+    EXPECT_EQ(p.receiver.stats().rsts_received, 0u);
+    EXPECT_EQ(p.receiver.stats().bad_rsts, 1u);
+    EXPECT_FALSE(p.receiver.peer_failed());
+    EXPECT_FALSE(failed);
+}
+
+TEST(TcpSequence, HalfSpaceBoundaryClassifiesAsFuture) {
+    // The classification window: seq exactly 2^31 behind/ahead of rcv_nxt.
+    // seq_lt's trichotomy is incoherent at distance 2^31 (both directions
+    // compare "less"); seq_behind pins that distance to the future side, so
+    // an exactly-opposite sequence number is an out-of-order drop, not a
+    // duplicate.
+    connection_config cfg;  // initial_seq = 0 -> receiver expects seq 0
+    pair p(cfg);
+
+    header_fields h;
+    h.src_port = cfg.local_port;
+    h.dst_port = cfg.remote_port;
+    h.control = flags::ack;
+
+    h.seq = 0x80000000u;  // distance exactly 2^31: future, not duplicate
+    p.receiver.on_packet(control_packet(h, true));
+    EXPECT_EQ(p.receiver.stats().out_of_order_drops, 1u);
+    EXPECT_EQ(p.receiver.stats().duplicate_drops, 0u);
+
+    h.seq = 0x80000001u;  // one past the boundary: maximally old duplicate
+    p.receiver.on_packet(control_packet(h, true));
+    EXPECT_EQ(p.receiver.stats().duplicate_drops, 1u);
+
+    h.seq = 0x7fffffffu;  // one before the boundary: far-future segment
+    p.receiver.on_packet(control_packet(h, true));
+    EXPECT_EQ(p.receiver.stats().out_of_order_drops, 2u);
+
+    h.seq = 0xffffffffu;  // just behind rcv_nxt across the wrap: duplicate
+    p.receiver.on_packet(control_packet(h, true));
+    EXPECT_EQ(p.receiver.stats().duplicate_drops, 2u);
+
+    EXPECT_EQ(p.receiver.stats().messages_accepted, 0u);
+}
+
+TEST(TcpSequence, BoundaryClassificationHoldsAwayFromZero) {
+    connection_config cfg;
+    cfg.initial_seq = 0xdeadbeefu;
+    pair p(cfg);
+
+    header_fields h;
+    h.src_port = cfg.local_port;
+    h.dst_port = cfg.remote_port;
+    h.control = flags::ack;
+
+    h.seq = cfg.initial_seq + 0x80000000u;  // distance 2^31: future
+    p.receiver.on_packet(control_packet(h, true));
+    EXPECT_EQ(p.receiver.stats().out_of_order_drops, 1u);
+
+    h.seq = cfg.initial_seq - 0x7fffffffu;  // 2^31-1 behind: duplicate
+    p.receiver.on_packet(control_packet(h, true));
+    EXPECT_EQ(p.receiver.stats().duplicate_drops, 1u);
+
+    h.seq = cfg.initial_seq - 1u;  // immediately behind: duplicate
+    p.receiver.on_packet(control_packet(h, true));
+    EXPECT_EQ(p.receiver.stats().duplicate_drops, 2u);
+
+    h.seq = cfg.initial_seq + 1u;  // immediately ahead: future
+    p.receiver.on_packet(control_packet(h, true));
+    EXPECT_EQ(p.receiver.stats().out_of_order_drops, 2u);
+}
+
 TEST(TcpWindow, AdvertisedWindowIsClampedTo16Bits) {
     connection_config cfg;
     cfg.recv_window_bytes = 1 << 20;  // larger than a 16-bit window

@@ -101,8 +101,10 @@ std::vector<analysis::finding> run_audits() {
 
     app::audit_outcome send = app::audit_fused_send(cipher);
     app::audit_outcome recv = app::audit_fused_receive(cipher);
+    app::audit_outcome zc = app::audit_zero_copy_receive(cipher);
     out.insert(out.end(), send.findings.begin(), send.findings.end());
     out.insert(out.end(), recv.findings.begin(), recv.findings.end());
+    out.insert(out.end(), zc.findings.begin(), zc.findings.end());
     if (!send.round_trip_ok) {
         out.push_back({analysis::severity::error, "A0-audit-fixture",
                        "src/app/send_path.h:send_message_ilp", "app-send-ilp",
@@ -115,6 +117,14 @@ std::vector<analysis::finding> run_audits() {
                        "app-recv-reply-ilp",
                        "audit payload failed to round-trip through the fused "
                        "receive path; the audit result is not trustworthy"});
+    }
+    if (!zc.round_trip_ok) {
+        out.push_back({analysis::severity::error, "A0-audit-fixture",
+                       "src/app/receive_path.h:receive_reply_ilp",
+                       "app-recv-zero-copy",
+                       "audit payload failed to round-trip through the "
+                       "zero-copy fused receive path; the audit result is "
+                       "not trustworthy"});
     }
     return out;
 }
