@@ -23,8 +23,9 @@ bool passes(const std::vector<finding>& findings) noexcept {
 namespace {
 
 void add(std::vector<finding>& out, const pipeline_model& m, severity sev,
-         const char* rule, std::string message) {
-    out.push_back({sev, rule, m.site, m.name, std::move(message)});
+         const char* rule, std::string message, std::string stage = {}) {
+    out.push_back(
+        {sev, rule, m.site, m.name, std::move(message), std::move(stage)});
 }
 
 // R4: the analyzer's own input must be coherent before the paper rules can
@@ -32,27 +33,38 @@ void add(std::vector<finding>& out, const pipeline_model& m, severity sev,
 void check_footprints(const pipeline_model& m, std::vector<finding>& out) {
     for (const footprint& fp : m.stages) {
         const std::string who = std::string("stage '") + fp.name + "'";
+        if (!fp.declared) {
+            add(out, m, severity::warning, "W4-conservative-footprint",
+                who + " has no declared footprint; the checker is running "
+                      "on a conservative default synthesized from the stage "
+                      "type, so a clean verdict does not verify what the "
+                      "stage actually does — declare a footprint",
+                fp.name);
+        }
         if (fp.unit_bytes == 0) {
             add(out, m, severity::error, "R4-footprint",
-                who + " declares a zero-byte processing unit");
+                who + " declares a zero-byte processing unit", fp.name);
             continue;
         }
         if (fp.reads_per_unit > fp.unit_bytes ||
             fp.writes_per_unit > fp.unit_bytes) {
             add(out, m, severity::error, "R4-footprint",
                 who + " claims to touch more bytes per unit than its unit "
-                      "holds");
+                      "holds",
+                fp.name);
         }
         if (fp.alignment == 0 || fp.unit_bytes % fp.alignment != 0) {
             add(out, m, severity::error, "R4-footprint",
-                who + " alignment does not divide its unit size");
+                who + " alignment does not divide its unit size", fp.name);
         }
         if (m.kind == pipeline_kind::fused &&
             m.exchange_unit_bytes % fp.unit_bytes != 0) {
             add(out, m, severity::error, "R4-footprint",
                 who + " unit does not divide the exchanged unit Le=" +
                     std::to_string(m.exchange_unit_bytes) +
-                    " (Le must be the lcm of all fused unit sizes, §2.2)");
+                    " (Le must be the lcm of all fused unit sizes, §2.2)",
+                std::string(fp.name) + " × Le=" +
+                    std::to_string(m.exchange_unit_bytes));
         }
     }
 }
@@ -67,7 +79,8 @@ void check_ordering(const pipeline_model& m, std::vector<finding>& out) {
             std::string("stage '") + fp.name +
                 "' is ordering-constrained but the plan processes message "
                 "parts out of order (B,C,A); process parts linearly or move "
-                "the integrity check to a trailer (paper §2.2, §5)");
+                "the integrity check to a trailer (paper §2.2, §5)",
+            std::string(fp.name) + " × B,C,A schedule");
     }
 }
 
@@ -79,14 +92,16 @@ void check_header_sizes(const pipeline_model& m, std::vector<finding>& out) {
         add(out, m, severity::error, "R2-header-size",
             "composition enters the loop before all header lengths are "
             "fixed; ILP requires header sizes known before the loop starts "
-            "(paper §2.2)");
+            "(paper §2.2)",
+            "framing");
     }
     for (const footprint& fp : m.stages) {
         if (fp.length_known_before_loop) continue;
         add(out, m, severity::error, "R2-header-size",
             std::string("stage '") + fp.name +
                 "' determines its own length mid-loop; such functions "
-                "cannot be integrated (paper §2.2)");
+                "cannot be integrated (paper §2.2)",
+            fp.name);
     }
 }
 
@@ -100,7 +115,8 @@ void check_costs(const pipeline_model& m, std::vector<finding>& out) {
                     std::to_string(fp.unit_bytes) +
                     "-byte units but the chain hands data out as 4-byte "
                     "words — two stores where one would do; the LCM-unit "
-                    "fused loop avoids this (paper §2.2)");
+                    "fused loop avoids this (paper §2.2)",
+                std::string(fp.name) + " × 4-byte word handoff");
         }
     }
 
@@ -137,7 +153,8 @@ void check_costs(const pipeline_model& m, std::vector<finding>& out) {
         add(out, m, severity::note, "N1-tap-domain",
             std::string("tap '") + fp.name + "' observes the " +
                 (transformed_before ? "transformed" : "untransformed") +
-                " stream at this position");
+                " stream at this position",
+            fp.name);
     }
 }
 
@@ -156,7 +173,9 @@ std::vector<finding> check_part_geometry(const pipeline_model& m,
                     std::to_string(part.len) +
                     " is not a multiple of the exchanged unit Le=" +
                     std::to_string(m.exchange_unit_bytes) +
-                    "; the loop would process a torn unit");
+                    "; the loop would process a torn unit",
+                "part@" + std::to_string(part.offset) + " × Le=" +
+                    std::to_string(m.exchange_unit_bytes));
         }
         for (const footprint& fp : m.stages) {
             if (part.offset % fp.alignment != 0) {
@@ -166,7 +185,8 @@ std::vector<finding> check_part_geometry(const pipeline_model& m,
                         std::to_string(fp.alignment) +
                         "-byte alignment); a " +
                         std::to_string(fp.unit_bytes) +
-                        "-byte block would straddle the part boundary");
+                        "-byte block would straddle the part boundary",
+                    "part@" + std::to_string(part.offset) + " × " + fp.name);
             }
         }
     }

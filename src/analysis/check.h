@@ -19,6 +19,9 @@
 //   W2-cache-pressure warn fused table working set rivals the L1 data cache
 //                          (§4.2: table-driven manipulations under ILP)
 //   W3-register-pressure warn Le exceeds what registers can hold (§2.2)
+//   W4-conservative-footprint warn a stage has no declared footprint; the
+//                          checker is running on a synthesized conservative
+//                          default, so "legal" overstates what was proved
 //   N1-tap-domain   note   what an observe-only tap covers (cipher-text vs
 //                          plain-text checksums)
 //   A1-redundant-touch / A2-missed-touch / A3-copy-count: emitted by the
@@ -43,6 +46,10 @@ struct finding {
     std::string site;           // file:function-style location
     std::string pipeline;       // registered pipeline name
     std::string message;
+    // The offending stage — or stage pair, rendered "a × b" — the rule
+    // fired on.  Machine-readable companion to the prose in `message`; the
+    // composer copies the first error's value into its verdict.
+    std::string stage;
 };
 
 // Working-set threshold for W2: half of the smallest evaluated L1 data

@@ -1,0 +1,41 @@
+// Symbolic composer — fold a stage graph's footprints, run the rules.
+//
+// compose_and_check() linearizes a stage_graph along a topological order,
+// folds the node footprints into one pipeline_model (Le = lcm of every unit
+// size with the Ls = 8 memory-path parameter, exactly as fused_pipeline
+// computes it at compile time), runs the full R1–R4 rule set plus the
+// W1–W4 cost warnings on the *composed* model, and checks the graph-level
+// obligations no single footprint can express: acyclicity, and that the
+// trailer bytes the stages oblige (AEAD [epoch|tag]) match the trailer the
+// framing actually reserves.  The result is a machine-readable verdict:
+// legal or not, which rule fired first, and which stage (pair) it fired on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/check.h"
+#include "analysis/graph.h"
+
+namespace ilp::analysis {
+
+// Machine-readable result of composing and checking one stage graph.
+struct verdict {
+    bool legal = false;
+    std::uint64_t hash = 0;  // graph_hash of the input graph
+
+    // First error's rule id ("" when legal) and its offending stage or
+    // stage pair ("crc32_tap × B,C,A schedule").
+    std::string rule;
+    std::string offender;
+
+    // The folded model the rules ran on, and every finding (errors,
+    // warnings and notes) they produced.
+    pipeline_model composed;
+    std::vector<finding> findings;
+};
+
+verdict compose_and_check(const stage_graph& g);
+
+}  // namespace ilp::analysis

@@ -61,6 +61,11 @@ std::string render_text(const finding& f) {
         out += f.pipeline;
         out += ")";
     }
+    if (!f.stage.empty()) {
+        out += "  (stage: ";
+        out += f.stage;
+        out += ")";
+    }
     return out;
 }
 
@@ -105,7 +110,8 @@ std::string render_json(const std::vector<pipeline_model>& models,
         out += std::string("    {\"severity\": \"") + severity_name(f.sev) +
                "\", \"rule\": \"" + json_escape(f.rule) + "\", \"site\": \"" +
                json_escape(f.site) + "\", \"pipeline\": \"" +
-               json_escape(f.pipeline) + "\", \"message\": \"" +
+               json_escape(f.pipeline) + "\", \"stage\": \"" +
+               json_escape(f.stage) + "\", \"message\": \"" +
                json_escape(f.message) + "\"}";
         if (i + 1 < findings.size()) out += ",";
         out += "\n";

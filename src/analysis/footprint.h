@@ -53,6 +53,20 @@ struct footprint {
     // CRC tables, key schedules).  Feeds the §4.2 cache-pressure warning:
     // table-driven manipulations compete with packet data for cache lines.
     std::size_t aux_table_bytes = 0;
+
+    // Trailer bytes this stage obliges the framing to reserve after the
+    // body (the AEAD stages' clear [epoch|tag] trailer).  The composer
+    // (compose.h) sums the obligations across a graph and requires them to
+    // match what the framing actually reserves — an unclaimed or unreserved
+    // trailer is an R2 rejection, because the trailer length is a header
+    // size that must be fixed before the loop starts.
+    std::size_t trailer_bytes = 0;
+
+    // False when this footprint was synthesized as a conservative default
+    // (footprint_of<> for a stage with no declaration).  Checked pipelines
+    // containing such a stage draw the W4 warning: the composition still
+    // runs, but "verified" would overstate what the analyzer proved.
+    bool declared = true;
 };
 
 // ---------------------------------------------------------------------------
@@ -86,7 +100,9 @@ constexpr footprint footprint_of() {
                          .ordering_constrained = S::ordering_constrained,
                          .length_known_before_loop = true,
                          .alignment = S::unit_bytes,
-                         .aux_table_bytes = 0};
+                         .aux_table_bytes = 0,
+                         .trailer_bytes = 0,
+                         .declared = false};
     }
 }
 

@@ -1,0 +1,16 @@
+#include "analysis/gate.h"
+
+namespace ilp::analysis {
+
+const verdict& legality_gate::check(const stage_graph& g) {
+    ++stats_.checks;
+    const std::uint64_t h = graph_hash(g);
+    auto it = cache_.find(h);
+    if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        return it->second;
+    }
+    return cache_.emplace(h, compose_and_check(g)).first->second;
+}
+
+}  // namespace ilp::analysis

@@ -1,0 +1,48 @@
+// Legality gate — the engine's runtime entry into the composer.
+//
+// engine::shard calls `check()` at flow setup and again on every rekey or
+// policy change.  Verdicts are cached by graph hash, so the steady-state
+// cost of gating is one hash of the stage graph; a rekey that changes an
+// epoch-relevant parameter changes the hash and forces a fresh
+// compose_and_check.  Flows whose graph is verified illegal are not run
+// fused — the caller demotes them to the layered path and records the
+// demotion with `count_fallback()`, surfaced as `analysis.gate.fallbacks`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "analysis/compose.h"
+
+namespace ilp::analysis {
+
+struct gate_stats {
+    std::uint64_t checks = 0;      // check() calls
+    std::uint64_t cache_hits = 0;  // served from the verdict cache
+    std::uint64_t fallbacks = 0;   // illegal graphs demoted to layered
+};
+
+class legality_gate {
+  public:
+    // Composes and checks `g`, or returns the cached verdict when an
+    // identical graph (same hash) was checked before.  The reference stays
+    // valid until clear().
+    const verdict& check(const stage_graph& g);
+
+    // Records that the caller demoted a flow to the layered path because
+    // its graph was verified illegal.
+    void count_fallback() noexcept { ++stats_.fallbacks; }
+
+    const gate_stats& stats() const noexcept { return stats_; }
+    std::size_t cached_verdicts() const noexcept { return cache_.size(); }
+    void clear() noexcept {
+        cache_.clear();
+        stats_ = {};
+    }
+
+  private:
+    std::map<std::uint64_t, verdict> cache_;
+    gate_stats stats_;
+};
+
+}  // namespace ilp::analysis

@@ -1,8 +1,26 @@
 #include "analysis/registry.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace ilp::analysis {
 
 std::vector<finding> pipeline_registry::add(pipeline_model model) {
+    // A second registration under an existing name would silently shadow the
+    // first in every report keyed by pipeline name; that is always a wiring
+    // bug, so fail loudly at registration time rather than confuse a lint
+    // run later.
+    for (const pipeline_model& existing : models_) {
+        if (existing.name == model.name) {
+            std::fprintf(stderr,
+                         "ilp::analysis: duplicate pipeline registration "
+                         "'%s' (already registered from %s; second "
+                         "registration from %s)\n",
+                         model.name.c_str(), existing.site.c_str(),
+                         model.site.c_str());
+            std::abort();
+        }
+    }
     std::vector<finding> findings = check_pipeline(model);
     models_.push_back(std::move(model));
     return findings;

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "analysis/compose.h"
+#include "app/compose_models.h"
 #include "checksum/internet_checksum.h"
 #include "core/fused_pipeline.h"
 #include "core/message_plan.h"
@@ -189,6 +191,32 @@ std::vector<analysis::finding> register_app_pipelines(
              analysis::footprint_of<core::xdr_decode_stage>()},
             8);
         take(registry.add(std::move(m)));
+    }
+
+    // Runtime-assembled flow graphs, folded through the composition engine
+    // and registered under their graph names.  These are the exact graphs
+    // the engine's legality gate admits at flow setup (compose_models.h
+    // builds both), so the lint inventory covers the runtime composition
+    // space's legal exemplars, not just the hand-audited static paths.
+    {
+        const secure_params classic{};
+        secure_params secure;
+        secure.enabled = true;
+        secure.flow_secret = 1;
+        const auto composed = [&take, &registry](analysis::stage_graph g) {
+            take(registry.add(analysis::compose_and_check(g).composed));
+        };
+        composed(flow_send_graph<crypto::safer_k64>(classic,
+                                                    compose_tap::none, 0));
+        composed(flow_receive_graph<crypto::safer_k64>(classic,
+                                                       compose_tap::none, 0));
+        composed(flow_send_graph<crypto::aead_cipher>(secure,
+                                                      compose_tap::none, 0));
+        composed(flow_receive_graph<crypto::aead_cipher>(secure,
+                                                         compose_tap::none,
+                                                         0));
+        composed(flow_send_graph<crypto::safer_k64>(classic,
+                                                    compose_tap::inet2, 0));
     }
 
     // Layered baselines: each pass touches the full message once; the

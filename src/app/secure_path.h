@@ -64,6 +64,20 @@ inline bool secure_framing(const secure_params& params) noexcept {
     return params.enabled && params.wire_version == rpc::wire_version_secure;
 }
 
+// Bytes the v3 framing reserves after the body for the clear [epoch | tag]
+// trailer — the reservation the composition-legality engine matches against
+// the trailer obligation the AEAD stages declare in their footprints.
+inline constexpr std::size_t secure_trailer_reserved_bytes =
+    rpc::secure_trailer_bytes;
+static_assert(core::aead_encrypt_stage<crypto::aead_cipher>::footprint_decl
+                      .trailer_bytes == rpc::secure_trailer_bytes,
+              "AEAD footprint trailer obligation must match the wire-v3 "
+              "trailer reservation");
+static_assert(core::aead_decrypt_stage<crypto::aead_cipher>::footprint_decl
+                      .trailer_bytes == rpc::secure_trailer_bytes,
+              "AEAD footprint trailer obligation must match the wire-v3 "
+              "trailer reservation");
+
 enum class secure_rx_cause : std::uint8_t {
     ok,
     malformed,

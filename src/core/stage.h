@@ -200,7 +200,12 @@ public:
         .ordering_constrained = ordering_constrained,
         .length_known_before_loop = true,
         .alignment = unit_bytes,
-        .aux_table_bytes = crypto::cipher_table_bytes<Cipher>()};
+        .aux_table_bytes = crypto::cipher_table_bytes<Cipher>(),
+        // The accumulated tag lands in a clear 8-byte [epoch|tag] trailer
+        // the framing must reserve (== rpc::secure_trailer_bytes; the
+        // equality is static_asserted where both are visible,
+        // app/secure_path.h).
+        .trailer_bytes = 8};
 
     aead_encrypt_stage(const Cipher& cipher, crypto::aead_tag_accumulator& tag)
         : cipher_(&cipher), tag_(&tag) {}
@@ -231,7 +236,10 @@ public:
         .ordering_constrained = ordering_constrained,
         .length_known_before_loop = true,
         .alignment = unit_bytes,
-        .aux_table_bytes = crypto::cipher_table_bytes<Cipher>()};
+        .aux_table_bytes = crypto::cipher_table_bytes<Cipher>(),
+        // Receive side verifies the same clear trailer; the obligation is
+        // symmetric so composed receive graphs must reserve it too.
+        .trailer_bytes = 8};
 
     aead_decrypt_stage(const Cipher& cipher, crypto::aead_tag_accumulator& tag)
         : cipher_(&cipher), tag_(&tag) {}

@@ -97,6 +97,9 @@ void fleet_report::finalize() {
         bytes.record(o.payload_bytes);
     }
     for (const shard_summary& s : shards) {
+        metrics.add("analysis.gate.checks", s.gate.checks);
+        metrics.add("analysis.gate.cache_hits", s.gate.cache_hits);
+        metrics.add("analysis.gate.fallbacks", s.gate.fallbacks);
         metrics.add("engine.net.reply_packets_sent", s.reply_data.packets_sent);
         metrics.add("engine.net.reply_packets_delivered",
                     s.reply_data.packets_delivered);

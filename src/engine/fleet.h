@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/gate.h"
 #include "engine/shard.h"
 #include "memsim/configs.h"
 #include "obs/counters.h"
@@ -63,6 +64,9 @@ struct shard_summary {
     net::pipe_stats reply_ack;
     obs::mem_counters client_mem;  // zero under direct_memory
     obs::mem_counters server_mem;
+    // Composition-legality gate activity on this shard (setup + rekey
+    // checks, verdict-cache hits, demotions to the layered path).
+    analysis::gate_stats gate;
 };
 
 struct fleet_report {
@@ -173,6 +177,7 @@ fleet_report run_fleet(const fleet_config& cfg, MemFactory&& shard_mems) {
                 obs::attribution_source(w->server_mem())) {
             s.server_mem = obs::sample_counters(*sys);
         }
+        s.gate = w->gate().stats();
         for (const flow_outcome& o : w->outcomes()) {
             ++s.flows;
             if (o.completed) ++s.completed;

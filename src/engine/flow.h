@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "app/compose_models.h"
 #include "app/file_transfer.h"
 #include "app/path_mode.h"
 #include "net/datagram.h"
@@ -53,6 +54,11 @@ struct flow_config {
     // Test knob: derive the *client* keychain from a different secret, so a
     // key mismatch surfaces as explicit tag failures (never silent).
     std::uint64_t client_secret_override = 0;
+    // Optional observe-only tap spliced into the flow's composed stage
+    // graph.  The legality gate verifies the resulting composition at flow
+    // setup; a tap that makes the fused graph illegal (crc32 on the B,C,A
+    // send side) demotes the flow to the layered path.
+    app::compose_tap tap = app::compose_tap::none;
 };
 
 // Terminal record of one flow.  Exactly one of completed / gave_up /
@@ -86,6 +92,11 @@ struct flow_outcome {
     std::uint64_t tag_failures = 0;
     std::uint64_t epoch_skews = 0;
     std::uint64_t epoch_window_hits = 0;
+    // The legality gate verified this flow's composed graph illegal and
+    // demoted it to the layered path at setup.  Excluded from
+    // fleet_report::digest(): the demotion is policy, not transfer outcome,
+    // and the BENCH baselines predate it.
+    bool composed_fallback = false;
 
     double throughput_mbps() const {
         if (elapsed_us == 0) return 0.0;

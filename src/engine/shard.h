@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/gate.h"
+#include "app/compose_models.h"
 #include "app/file_transfer.h"
 #include "engine/flow.h"
 #include "engine/scheduler.h"
@@ -165,34 +167,49 @@ public:
         // Both endpoints share the flow's security parameters — the
         // deterministic KDF stands in for the key exchange.  The client-side
         // secret override is the key-mismatch test knob.
-        app::secure_params server_sec;
-        server_sec.enabled = cfg.secure;
-        server_sec.flow_secret = cfg.flow_secret;
-        server_sec.wire_version = cfg.secure_wire_version;
-        server_sec.rekey_interval_bytes = cfg.rekey_interval_bytes;
+        app::secure_params server_sec = secure_params_for(cfg);
         app::secure_params client_sec = server_sec;
         if (cfg.client_secret_override != 0) {
             client_sec.flow_secret = cfg.client_secret_override;
         }
 
+        // Composition-legality gate: the flow's runtime-assembled stage
+        // graphs (send and receive side) must be verified legal before any
+        // fused loop runs.  A verified-illegal graph — e.g. a crc32 tap on
+        // the B,C,A send schedule — demotes the flow to the layered path
+        // deterministically; the demotion is counted, never silent.
+        app::path_mode mode = cfg.mode;
+        if (mode == app::path_mode::ilp) {
+            const analysis::verdict& tx = gate_.check(
+                app::flow_send_graph<Cipher>(server_sec, cfg.tap, 0));
+            const analysis::verdict& rx = gate_.check(
+                app::flow_receive_graph<Cipher>(client_sec, cfg.tap, 0));
+            if (!tx.legal || !rx.legal) {
+                mode = app::path_mode::layered;
+                gate_.count_fallback();
+                e.cfg.mode = mode;
+                e.outcome.composed_fallback = true;
+            }
+        }
+
         if (opts_.legacy_single_flow) {
             e.server = std::make_unique<app::file_server<Mem, Cipher>>(
                 server_mem_, e.server_cipher, clock_, request_link_,
-                reply_link_, tcp::mirrored(request_cfg), reply_cfg, cfg.mode,
+                reply_link_, tcp::mirrored(request_cfg), reply_cfg, mode,
                 store_, server_sec);
             e.client = std::make_unique<app::file_client<Mem, Cipher>>(
                 client_mem_, e.client_cipher, clock_, request_link_,
-                reply_link_, request_cfg, tcp::mirrored(reply_cfg), cfg.mode,
+                reply_link_, request_cfg, tcp::mirrored(reply_cfg), mode,
                 cfg.retry, client_sec);
         } else {
             e.server = std::make_unique<app::file_server<Mem, Cipher>>(
                 server_mem_, e.server_cipher, clock_, request_link_.reverse(),
                 reply_link_.forward(), tcp::mirrored(request_cfg), reply_cfg,
-                cfg.mode, store_, server_sec);
+                mode, store_, server_sec);
             e.client = std::make_unique<app::file_client<Mem, Cipher>>(
                 client_mem_, e.client_cipher, clock_, request_link_.forward(),
                 reply_link_.reverse(), request_cfg, tcp::mirrored(reply_cfg),
-                cfg.mode, cfg.retry, client_sec);
+                mode, cfg.retry, client_sec);
             // Engine flows are serviced only through the scheduler: the
             // ACK handler must not bypass the meter (and serviced_bytes
             // must account every data segment).
@@ -302,6 +319,7 @@ public:
     }
     const Mem& client_mem() const noexcept { return client_mem_; }
     const Mem& server_mem() const noexcept { return server_mem_; }
+    const analysis::legality_gate& gate() const noexcept { return gate_; }
 
 private:
     // e.ports slots; each of the four pipe directions has its own demux, so
@@ -326,9 +344,19 @@ private:
         sim_time started_at = 0;
         sched_state sched;
         std::uint64_t serviced_bytes = 0;
+        std::uint64_t seen_rekeys = 0;  // last epoch the gate re-verified at
         bool finished = false;
         flow_outcome outcome;
     };
+
+    static app::secure_params secure_params_for(const flow_config& cfg) {
+        app::secure_params sec;
+        sec.enabled = cfg.secure;
+        sec.flow_secret = cfg.flow_secret;
+        sec.wire_version = cfg.secure_wire_version;
+        sec.rekey_interval_bytes = cfg.rekey_interval_bytes;
+        return sec;
+    }
 
     flow_entry& entry(std::uint32_t id) {
         const auto it = table_.find(id);
@@ -377,7 +405,24 @@ private:
         ILP_ENSURE(ok);  // freshly allocated ports cannot conflict
     }
 
+    // Re-verify the composed send graph whenever the server advances its key
+    // epoch: the verdict cache is keyed by a hash that folds in the epoch
+    // parameter, so a rekey is exactly the event that invalidates the cached
+    // entry.  The graph *shape* is epoch-invariant, so a flow the gate
+    // admitted at setup must stay legal across rekeys — a flipped verdict
+    // here would be a gate bug, hence the hard contract.
+    void regate_on_rekey(flow_entry& e) {
+        if (!e.cfg.secure || e.cfg.mode != app::path_mode::ilp) return;
+        const std::uint64_t rekeys = e.server->secure_stats().rekeys;
+        if (rekeys == e.seen_rekeys) return;
+        e.seen_rekeys = rekeys;
+        const analysis::verdict& v = gate_.check(app::flow_send_graph<Cipher>(
+            secure_params_for(e.cfg), e.cfg.tap, rekeys));
+        ILP_ENSURE(v.legal);
+    }
+
     void service(flow_entry& e) {
+        regate_on_rekey(e);
         if (opts_.legacy_single_flow) {
             e.server->pump();
             e.client->poll();
@@ -466,6 +511,7 @@ private:
     net::port_demux reply_rev_demux_;    // -> server reply-ACK handlers
     net::port_allocator ports_;
     app::file_store store_;
+    analysis::legality_gate gate_;
     std::map<std::uint32_t, std::unique_ptr<flow_entry>> table_;
     std::size_t active_ = 0;
 };

@@ -225,6 +225,53 @@ TEST(EngineChaos, LossyFlowsEndExplicitlyCleanFlowsComplete) {
     EXPECT_EQ(report.shards.size(), 4u);
 }
 
+// --- composition-legality gate ---------------------------------------------
+
+// A crc32 tap on the B,C,A send schedule composes an illegal graph (R1):
+// the gate must demote exactly those flows to the layered path — counted,
+// never silent — and the demoted flows must still complete verified.
+TEST(EngineGate, IllegalComposedFlowFallsBackToLayeredAndCompletes) {
+    fleet_config cfg;
+    cfg.flows = 6;
+    cfg.shards = 1;
+    cfg.defaults = small_flow();
+    cfg.per_flow = [](std::uint32_t f, flow_config& fc) {
+        fc.tap = f % 2 == 0 ? app::compose_tap::crc32 : app::compose_tap::none;
+    };
+    const fleet_report report = run_fleet_native<cipher>(cfg);
+
+    ASSERT_EQ(report.flows.size(), 6u);
+    for (const flow_outcome& o : report.flows) {
+        EXPECT_TRUE(o.completed && o.verified) << "flow " << o.flow_id;
+        EXPECT_EQ(o.composed_fallback, o.flow_id % 2 == 0)
+            << "flow " << o.flow_id;
+    }
+    // Every ILP flow was gated (send + receive graph) and each demoted flow
+    // counted one fallback; identical graphs across flows hit the verdict
+    // cache rather than re-running the composer.
+    EXPECT_EQ(report.metrics.counter("analysis.gate.fallbacks"), 3u);
+    EXPECT_GE(report.metrics.counter("analysis.gate.checks"), 12u);
+    EXPECT_GT(report.metrics.counter("analysis.gate.cache_hits"), 0u);
+    ASSERT_EQ(report.shards.size(), 1u);
+    EXPECT_EQ(report.shards[0].gate.fallbacks, 3u);
+}
+
+// A legal tap (inet2 runs at the checksum's natural unit, legal anywhere)
+// must pass the gate untouched: no demotion, fused path kept.
+TEST(EngineGate, LegalTapStaysOnTheFusedPath) {
+    shard_options opts;
+    test_shard s(0, opts, direct_memory{}, direct_memory{});
+    const cipher c = make_cipher(1);
+    flow_config fc = small_flow();
+    fc.tap = app::compose_tap::inet2;
+    ASSERT_TRUE(s.open_flow(0, fc, c, c));
+    s.run();
+    EXPECT_TRUE(s.outcome(0).completed && s.outcome(0).verified);
+    EXPECT_FALSE(s.outcome(0).composed_fallback);
+    EXPECT_EQ(s.gate().stats().fallbacks, 0u);
+    EXPECT_EQ(s.gate().stats().checks, 2u);  // send + receive graph
+}
+
 // --- determinism contract --------------------------------------------------
 
 fleet_config invariance_config(std::uint32_t shards, bool threaded = false) {

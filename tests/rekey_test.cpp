@@ -728,7 +728,9 @@ TEST(SecureFleet, StaggeredRekeyFlowsAllEndExplicitly) {
                           (o.request_rejected ? 1 : 0) +
                           (o.ports_exhausted ? 1 : 0);
         EXPECT_EQ(flags, 1) << "flow " << o.flow_id;
-        if (o.completed) EXPECT_TRUE(o.verified) << "flow " << o.flow_id;
+        if (o.completed) {
+            EXPECT_TRUE(o.verified) << "flow " << o.flow_id;
+        }
         EXPECT_EQ(o.tag_failures, 0u) << "flow " << o.flow_id;
         EXPECT_EQ(o.epoch_skews, 0u) << "flow " << o.flow_id;
         total_rekeys += o.rekeys;

@@ -14,6 +14,12 @@
 //   ilp-lint --sweep=N   additionally check part geometry for every
 //                        marshalled size up to N bytes against the send
 //                        plan (plan_parts), catching torn-unit sizes
+//   ilp-lint --compose   additionally sweep the runtime composition space:
+//                        every cipher × framing × tap × schedule graph is
+//                        composed, checked, and (where executable) run both
+//                        fused and layered — accepted graphs must be
+//                        bit-identical, rejected ones must name their rule
+//                        (with --json, output gains a "compose" section)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,12 +27,19 @@
 
 #include "analysis/diagnostics.h"
 #include "analysis/registry.h"
+#include "app/compose_sweep.h"
 #include "app/path_models.h"
 #include "app/touch_audits.h"
 #include "core/message_plan.h"
 #include "crypto/safer_k64.h"
 #include "rpc/pipeline_models.h"
 #include "tcp/pipeline_models.h"
+
+// GCC 12 false-positives -Wrestrict on inlined std::string concatenation
+// (gcc bug 105329), same as analysis/diagnostics.cpp.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
 
 namespace {
 
@@ -87,7 +100,8 @@ std::vector<analysis::finding> sweep_plans(
             out.push_back({analysis::severity::error, "R3-granularity",
                            send_model->site, send_model->name,
                            "plan_parts(" + std::to_string(marshalled) +
-                               ") produced a malformed plan"});
+                               ") produced a malformed plan",
+                           {}});
         }
     }
     return out;
@@ -109,14 +123,16 @@ std::vector<analysis::finding> run_audits() {
         out.push_back({analysis::severity::error, "A0-audit-fixture",
                        "src/app/send_path.h:send_message_ilp", "app-send-ilp",
                        "audit payload failed to round-trip through the fused "
-                       "send path; the audit result is not trustworthy"});
+                       "send path; the audit result is not trustworthy",
+                       {}});
     }
     if (!recv.round_trip_ok) {
         out.push_back({analysis::severity::error, "A0-audit-fixture",
                        "src/app/receive_path.h:receive_reply_ilp",
                        "app-recv-reply-ilp",
                        "audit payload failed to round-trip through the fused "
-                       "receive path; the audit result is not trustworthy"});
+                       "receive path; the audit result is not trustworthy",
+                       {}});
     }
     if (!zc.round_trip_ok) {
         out.push_back({analysis::severity::error, "A0-audit-fixture",
@@ -124,9 +140,75 @@ std::vector<analysis::finding> run_audits() {
                        "app-recv-zero-copy",
                        "audit payload failed to round-trip through the "
                        "zero-copy fused receive path; the audit result is "
-                       "not trustworthy"});
+                       "not trustworthy",
+                       {}});
     }
     return out;
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+// Machine-readable form of the composition sweep — the verdict schema CI
+// checks (see README "Composition sweep").
+std::string render_compose_json(const app::compose_sweep_report& rep) {
+    char hashbuf[32];
+    std::string out = "{\n";
+    out += "    \"graphs\": " + std::to_string(rep.cases.size()) + ",\n";
+    out += "    \"accepted\": " + std::to_string(rep.accepted) + ",\n";
+    out += "    \"rejected\": " + std::to_string(rep.rejected) + ",\n";
+    out += "    \"executed\": " + std::to_string(rep.executed) + ",\n";
+    out += "    \"miscomputations\": " + std::to_string(rep.miscomputations) +
+           ",\n";
+    out += "    \"unexplained_rejections\": " +
+           std::to_string(rep.unexplained_rejections) + ",\n";
+    out += std::string("    \"ok\": ") + (rep.ok() ? "true" : "false") +
+           ",\n    \"cases\": [\n";
+    for (std::size_t i = 0; i < rep.cases.size(); ++i) {
+        const app::compose_case& c = rep.cases[i];
+        std::snprintf(hashbuf, sizeof hashbuf, "%016llx",
+                      static_cast<unsigned long long>(c.hash));
+        out += "      {\"name\": \"" + json_escape(c.name) + "\", ";
+        out += std::string("\"hash\": \"") + hashbuf + "\", ";
+        out += std::string("\"legal\": ") + (c.legal ? "true" : "false") +
+               ", ";
+        out += "\"rule\": \"" + json_escape(c.rule) + "\", ";
+        out += "\"offender\": \"" + json_escape(c.offender) + "\", ";
+        out += std::string("\"executed\": ") +
+               (c.executed ? "true" : "false") + ", ";
+        out += std::string("\"outputs_match\": ") +
+               (c.outputs_match ? "true" : "false") + ", ";
+        out += std::string("\"taps_match\": ") +
+               (c.taps_match ? "true" : "false") + ", ";
+        out += std::string("\"mismatch_expected\": ") +
+               (c.mismatch_expected ? "true" : "false") + ", ";
+        out += std::string("\"ok\": ") + (c.ok ? "true" : "false") + ", ";
+        out += "\"status\": \"" + json_escape(c.status) + "\"}";
+        if (i + 1 < rep.cases.size()) out += ",";
+        out += "\n";
+    }
+    out += "    ]\n  }";
+    return out;
+}
+
+void print_compose_text(const app::compose_sweep_report& rep) {
+    for (const app::compose_case& c : rep.cases) {
+        if (c.ok) continue;
+        std::printf("compose: FAIL %-44s %s\n", c.name.c_str(),
+                    c.status.c_str());
+    }
+    std::printf(
+        "compose: %zu graphs, %zu accepted, %zu rejected, %zu differential "
+        "run(s), %zu miscomputation(s), %zu unexplained rejection(s)\n",
+        rep.cases.size(), rep.accepted, rep.rejected, rep.executed,
+        rep.miscomputations, rep.unexplained_rejections);
 }
 
 }  // namespace
@@ -135,6 +217,7 @@ int main(int argc, char** argv) {
     bool json = false;
     bool list = false;
     bool audit = false;
+    bool compose = false;
     std::size_t sweep_bytes = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -144,12 +227,14 @@ int main(int argc, char** argv) {
             list = true;
         } else if (arg == "--audit") {
             audit = true;
+        } else if (arg == "--compose") {
+            compose = true;
         } else if (arg.rfind("--sweep=", 0) == 0) {
             sweep_bytes = static_cast<std::size_t>(
                 std::strtoull(arg.c_str() + 8, nullptr, 10));
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: ilp-lint [--json] [--list] [--audit] "
-                        "[--sweep=BYTES]\n");
+                        "[--compose] [--sweep=BYTES]\n");
             return 0;
         } else {
             std::fprintf(stderr, "ilp-lint: unknown option '%s'\n",
@@ -177,9 +262,17 @@ int main(int argc, char** argv) {
         findings.insert(findings.end(), audited.begin(), audited.end());
     }
 
+    app::compose_sweep_report compose_report;
+    if (compose) compose_report = app::run_compose_sweep();
+
     std::size_t errors = 0;
     if (json) {
-        const std::string doc = render_json(registry.models(), findings);
+        std::string doc = render_json(registry.models(), findings);
+        if (compose) {
+            // Wrap: {"lint": <registry doc>, "compose": <sweep doc>}.
+            doc = "{\n  \"lint\": " + doc + ",\n  \"compose\": " +
+                  render_compose_json(compose_report) + "\n}";
+        }
         std::fputs(doc.c_str(), stdout);
         std::fputc('\n', stdout);
         for (const analysis::finding& f : findings) {
@@ -187,6 +280,8 @@ int main(int argc, char** argv) {
         }
     } else {
         errors = analysis::print_report(stdout, findings);
+        if (compose) print_compose_text(compose_report);
     }
+    if (compose && !compose_report.ok()) return 1;
     return errors == 0 ? 0 : 1;
 }
