@@ -8,7 +8,9 @@
 // cache contention from a simulated-memory fleet.  Emits the versioned
 // BENCH JSON schema; the checked-in baseline (bench/baselines/
 // BENCH_scale.json) records the `--smoke` sweep that CI diffs against.
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -63,6 +65,46 @@ void report_fleet(ilp::obs::bench_report& report, const std::string& key,
     }
 }
 
+// The 10k-flow smoke tier: small files so the fleet fits CI, a deterministic
+// doomed minority so the flight-recorder black boxes have something to say,
+// and a 1% trace-sampling policy whose selected set is a pure function of
+// (seed, flow id).  499 is odd and coprime to the shard count, so each doom
+// class (~21 flows) spreads across all four shards.
+fleet_config fleet10k(std::uint32_t rate_permyriad) {
+    fleet_config cfg = fleet_of(10'000, ilp::app::path_mode::ilp);
+    cfg.defaults.file_bytes = 2048;
+    cfg.trace_sampler.seed = 0x0b5eedull;
+    cfg.trace_sampler.rate_permyriad = rate_permyriad;
+    cfg.per_flow = [](std::uint32_t f, ilp::engine::flow_config& fc) {
+        switch (f % 499) {
+            case 3:  // total reply loss + tiny retry budget -> gave_up
+                fc.forward_faults.drop_probability = 1.0;
+                fc.retry.max_attempts = 2;
+                fc.retry.response_timeout_us = 2'000;
+                fc.retry.backoff_us = 1'000;
+                fc.retry.max_backoff_us = 1'000;
+                break;
+            case 7:  // total reply loss + 10ms deadline -> deadline_exceeded
+                fc.forward_faults.drop_probability = 1.0;
+                fc.deadline_us = 10'000;
+                break;
+            case 11:  // illegal crc32 tap -> legality-gate demotion
+                fc.tap = ilp::app::compose_tap::crc32;
+                break;
+            default:
+                break;
+        }
+    };
+    return cfg;
+}
+
+double run_seconds(const std::function<void()>& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +114,7 @@ int main(int argc, char** argv) {
     bool smoke = false;
     std::string json_path;
     std::string trace_path;
+    std::string fleet_json_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--smoke") {
@@ -80,10 +123,12 @@ int main(int argc, char** argv) {
             json_path = arg.substr(7);
         } else if (arg.rfind("--trace=", 0) == 0) {
             trace_path = arg.substr(8);
+        } else if (arg.rfind("--fleet-json=", 0) == 0) {
+            fleet_json_path = arg.substr(13);
         } else {
             std::fprintf(stderr,
                          "usage: bench_scale [--smoke] [--json=PATH] "
-                         "[--trace=PATH]\n");
+                         "[--trace=PATH] [--fleet-json=PATH]\n");
             return 2;
         }
     }
@@ -163,6 +208,108 @@ int main(int argc, char** argv) {
                           : static_cast<double>(total_cycles) /
                                 static_cast<double>(sim.payload_bytes),
                       "cycles", obs::direction::lower_is_better);
+    }
+
+    // 10k-flow smoke tier: the fleet-observability workout.  One untraced
+    // run is the behavioural reference; a tracer-installed 1%-sampled run
+    // must match its digest exactly (observability can see the fleet but
+    // never steer it) and stay within a bounded wall-clock overhead; 0% and
+    // 100% sampling runs pin down that the sampling *rate* cannot perturb
+    // outcomes either.
+    {
+        fleet_report plain;
+        const double untraced_s = run_seconds([&] {
+            plain = engine::run_fleet_native<cipher>(fleet10k(100));
+        });
+
+        // 1% of 10k flows span-trace ~100k events; size the ring so the
+        // canonical run keeps them all (dropped == 0 is part of the gate).
+        obs::tracer tracer(1 << 18);
+        obs::tracer* prev = obs::tracer::install(&tracer);
+        fleet_report traced;
+        const double traced_s = run_seconds([&] {
+            traced = engine::run_fleet_native<cipher>(fleet10k(100));
+        });
+        obs::tracer::install(prev);
+        traced.metrics.add("obs.trace.dropped", tracer.dropped());
+
+        if (traced.digest() != plain.digest()) {
+            std::fprintf(stderr,
+                         "ERROR: tracing perturbed the 10k fleet "
+                         "(digest %016llx untraced vs %016llx traced)\n",
+                         static_cast<unsigned long long>(plain.digest()),
+                         static_cast<unsigned long long>(traced.digest()));
+            return 1;
+        }
+        bool sampling_stable = true;
+        for (const std::uint32_t rate : {0u, 10'000u}) {
+            obs::tracer t(1 << 16);
+            obs::tracer* p = obs::tracer::install(&t);
+            const fleet_report r =
+                engine::run_fleet_native<cipher>(fleet10k(rate));
+            obs::tracer::install(p);
+            if (r.digest() != plain.digest()) {
+                std::fprintf(
+                    stderr,
+                    "ERROR: sampling rate %u permyriad perturbed the 10k "
+                    "fleet (digest %016llx vs %016llx)\n",
+                    rate, static_cast<unsigned long long>(plain.digest()),
+                    static_cast<unsigned long long>(r.digest()));
+                sampling_stable = false;
+            }
+        }
+        if (!sampling_stable) return 1;
+
+        // Wall-clock overhead of always-on observability (flight recorders,
+        // latency sketches, aggregates) plus 1% span sampling.  Wall time is
+        // machine-dependent, so the ratio is an info metric — but a blow-up
+        // is a bug, so the bench itself enforces the bound.
+        const double overhead =
+            untraced_s > 0.0 ? traced_s / untraced_s : 1.0;
+        if (overhead > 2.0) {
+            std::fprintf(stderr,
+                         "ERROR: observability overhead ratio %.2f exceeds "
+                         "2.0 (untraced %.2fs, traced %.2fs)\n",
+                         overhead, untraced_s, traced_s);
+            return 1;
+        }
+
+        report.meta("fleet10k_flows", "10000");
+        report.meta("fleet10k_file_bytes", "2048");
+        report.meta("fleet10k_sampling_permyriad", "100");
+        report.metric("fleet.completed", static_cast<double>(traced.completed),
+                      "count", obs::direction::higher_is_better);
+        report.metric("fleet.verified", static_cast<double>(traced.verified),
+                      "count", obs::direction::higher_is_better);
+        report.metric("fleet.failed", static_cast<double>(traced.failed),
+                      "count", obs::direction::lower_is_better);
+        report.metric("fleet.deadline_exceeded",
+                      static_cast<double>(traced.deadline_exceeded), "count",
+                      obs::direction::lower_is_better);
+        report.metric(
+            "fleet.fallbacks",
+            static_cast<double>(
+                traced.metrics.counter("analysis.gate.fallbacks")),
+            "count", obs::direction::lower_is_better);
+        report.histogram_metric("fleet.flow_latency", traced.flow_latency,
+                                "us");
+        report.metric("obs.trace.sampled_flows",
+                      static_cast<double>(traced.trace_sampled), "count",
+                      obs::direction::info);
+        report.metric("obs.trace.dropped",
+                      static_cast<double>(tracer.dropped()), "count",
+                      obs::direction::lower_is_better);
+        report.metric("fleet.sampling_digest_stable", 1.0, "bool",
+                      obs::direction::higher_is_better);
+        report.metric("fleet.obs_overhead_ratio", overhead, "ratio",
+                      obs::direction::info);
+
+        if (!fleet_json_path.empty() &&
+            !engine::write_fleet_report_json(traced, fleet_json_path)) {
+            std::fprintf(stderr, "ERROR: cannot write %s\n",
+                         fleet_json_path.c_str());
+            return 1;
+        }
     }
 
     if (!trace_path.empty()) {

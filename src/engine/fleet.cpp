@@ -1,6 +1,8 @@
 #include "engine/fleet.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <string>
 
 namespace ilp::engine {
@@ -15,6 +17,58 @@ void mix(std::uint64_t& h, std::uint64_t v) {
         h ^= (v >> (8 * i)) & 0xffu;
         h *= fnv_prime;
     }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += buf;
+}
+
+void append_double(std::string& out, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out += buf;
+}
+
+void append_latency(std::string& out, const obs::histogram& h) {
+    out += "{\"count\":";
+    append_u64(out, h.count());
+    out += ",\"min_us\":";
+    append_u64(out, h.min());
+    out += ",\"max_us\":";
+    append_u64(out, h.max());
+    out += ",\"mean_us\":";
+    append_double(out, h.mean());
+    out += ",\"p50_us\":";
+    append_double(out, h.percentile(50.0));
+    out += ",\"p90_us\":";
+    append_double(out, h.percentile(90.0));
+    out += ",\"p99_us\":";
+    append_double(out, h.percentile(99.0));
+    out += "}";
+}
+
+void append_slowest(std::string& out, const std::vector<slow_flow>& slowest) {
+    out += "[";
+    for (std::size_t i = 0; i < slowest.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "{\"flow\":";
+        append_u64(out, slowest[i].flow_id);
+        out += ",\"elapsed_us\":";
+        append_u64(out, slowest[i].elapsed_us);
+        out += "}";
+    }
+    out += "]";
+}
+
+const char* outcome_name(const flow_outcome& o) {
+    if (o.completed) return "completed";
+    if (o.gave_up) return "gave_up";
+    if (o.deadline_exceeded) return "deadline_exceeded";
+    if (o.request_rejected) return "request_rejected";
+    if (o.ports_exhausted) return "ports_exhausted";
+    return "open";
 }
 
 }  // namespace
@@ -58,7 +112,7 @@ void fleet_report::finalize() {
               [](const flow_outcome& a, const flow_outcome& b) {
                   return a.flow_id < b.flow_id;
               });
-    completed = verified = failed = deadline_exceeded = 0;
+    completed = verified = failed = deadline_exceeded = trace_sampled = 0;
     payload_bytes = 0;
     max_elapsed_us = 0;
     for (const flow_outcome& o : flows) {
@@ -66,11 +120,25 @@ void fleet_report::finalize() {
         if (o.verified) ++verified;
         if (o.gave_up || o.request_rejected || o.ports_exhausted) ++failed;
         if (o.deadline_exceeded) ++deadline_exceeded;
+        if (o.trace_sampled) ++trace_sampled;
         payload_bytes += o.payload_bytes;
     }
+    // The fleet latency view is the per-shard sketches merged — no per-flow
+    // latency state anywhere — plus the shard top-k lists folded into one.
+    flow_latency = obs::histogram{};
+    slowest.clear();
     for (const shard_summary& s : shards) {
         max_elapsed_us = std::max(max_elapsed_us, s.elapsed_us);
+        flow_latency += s.latency;
+        slowest.insert(slowest.end(), s.slowest.begin(), s.slowest.end());
     }
+    std::sort(slowest.begin(), slowest.end(),
+              [](const slow_flow& a, const slow_flow& b) {
+                  return a.elapsed_us != b.elapsed_us
+                             ? a.elapsed_us > b.elapsed_us
+                             : a.flow_id < b.flow_id;
+              });
+    if (slowest.size() > 8) slowest.resize(8);
 
     metrics = obs::registry{};
     metrics.add("engine.flows", flows.size());
@@ -82,6 +150,13 @@ void fleet_report::finalize() {
     metrics.add("engine.max_elapsed_us", max_elapsed_us);
     metrics.set_gauge("engine.aggregate_throughput_mbps",
                       aggregate_throughput_mbps());
+    // Fleet observability: sampling coverage and the merged latency sketch,
+    // whose p99 is the BENCH_scale gating quantity.
+    metrics.add("obs.trace.sampled_flows", trace_sampled);
+    metrics.set_gauge("obs.trace.sampling_rate_permyriad",
+                      sampler.rate_permyriad);
+    metrics.hist("fleet.flow_latency_us") += flow_latency;
+    metrics.set_gauge("fleet.flow_latency.p99", flow_latency.percentile(99.0));
     obs::histogram& elapsed = metrics.hist("engine.flow_elapsed_us");
     obs::histogram& bytes = metrics.hist("engine.flow_payload_bytes");
     for (const flow_outcome& o : flows) {
@@ -118,10 +193,125 @@ void fleet_report::finalize() {
             "engine.shard" + std::to_string(s.shard) + ".";
         metrics.add(prefix + "flows", s.flows);
         metrics.add(prefix + "completed", s.completed);
+        metrics.add(prefix + "failed", s.failed);
+        metrics.add(prefix + "fallbacks", s.fallbacks);
         metrics.add(prefix + "elapsed_us", s.elapsed_us);
         metrics.add(prefix + "mem_cycles",
                     s.client_mem.cycles + s.server_mem.cycles);
     }
+}
+
+std::string fleet_report_json(const fleet_report& report) {
+    std::string out;
+    out.reserve(4096 + report.shards.size() * 512);
+    out += "{\"schema_version\":1,\"kind\":\"fleet_report\",\"digest\":\"";
+    char digest_buf[20];
+    std::snprintf(digest_buf, sizeof digest_buf, "%016" PRIx64,
+                  report.digest());
+    out += digest_buf;
+    out += "\",\"flows\":";
+    append_u64(out, report.flows.size());
+    out += ",\"completed\":";
+    append_u64(out, report.completed);
+    out += ",\"verified\":";
+    append_u64(out, report.verified);
+    out += ",\"failed\":";
+    append_u64(out, report.failed);
+    out += ",\"deadline_exceeded\":";
+    append_u64(out, report.deadline_exceeded);
+    out += ",\"payload_bytes\":";
+    append_u64(out, report.payload_bytes);
+    out += ",\"max_elapsed_us\":";
+    append_u64(out, report.max_elapsed_us);
+
+    out += ",\"sampling\":{\"seed\":";
+    append_u64(out, report.sampler.seed);
+    out += ",\"rate_permyriad\":";
+    append_u64(out, report.sampler.rate_permyriad);
+    out += ",\"sampled_flows\":";
+    append_u64(out, report.trace_sampled);
+    out += ",\"trace_dropped\":";
+    append_u64(out, report.metrics.counter("obs.trace.dropped"));
+    out += "}";
+
+    out += ",\"latency\":";
+    append_latency(out, report.flow_latency);
+    out += ",\"top_slowest\":";
+    append_slowest(out, report.slowest);
+
+    out += ",\"shards\":[";
+    for (std::size_t i = 0; i < report.shards.size(); ++i) {
+        const shard_summary& s = report.shards[i];
+        if (i != 0) out += ",";
+        out += "{\"shard\":";
+        append_u64(out, s.shard);
+        out += ",\"flows\":";
+        append_u64(out, s.flows);
+        out += ",\"completed\":";
+        append_u64(out, s.completed);
+        out += ",\"failed\":";
+        append_u64(out, s.failed);
+        out += ",\"fallbacks\":";
+        append_u64(out, s.fallbacks);
+        out += ",\"rekeys\":";
+        append_u64(out, s.rekeys);
+        out += ",\"elapsed_us\":";
+        append_u64(out, s.elapsed_us);
+        out += ",\"latency\":";
+        append_latency(out, s.latency);
+        out += ",\"top_slowest\":";
+        append_slowest(out, s.slowest);
+        out += "}";
+    }
+    out += "]";
+
+    // The black boxes: one flight-recorder dump per flow that failed
+    // explicitly or was demoted by the legality gate.  Healthy flows keep
+    // their recorders private — the dump is the failure-debugging artifact,
+    // not a per-flow firehose.
+    out += ",\"black_boxes\":[";
+    bool first = true;
+    for (const flow_outcome& o : report.flows) {
+        if (!o.failed_explicitly() && !o.composed_fallback) continue;
+        if (!first) out += ",";
+        first = false;
+        out += "{\"flow\":";
+        append_u64(out, o.flow_id);
+        out += ",\"shard\":";
+        append_u64(out, o.shard);
+        out += ",\"outcome\":\"";
+        out += outcome_name(o);
+        out += "\",\"composed_fallback\":";
+        out += o.composed_fallback ? "true" : "false";
+        out += ",\"recorded\":";
+        append_u64(out, o.black_box.recorded());
+        out += ",\"events\":[";
+        const std::vector<obs::flight_entry> entries = o.black_box.entries();
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (i != 0) out += ",";
+            out += "{\"t_us\":";
+            append_u64(out, entries[i].at_us);
+            out += ",\"ev\":\"";
+            out += obs::flight_event_name(entries[i].event);
+            out += "\",\"arg\":";
+            append_u64(out, entries[i].arg);
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+bool write_fleet_report_json(const fleet_report& report,
+                             const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = fleet_report_json(report);
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = written == json.size() && std::fclose(f) == 0;
+    if (written != json.size()) std::fclose(f);
+    return ok;
 }
 
 }  // namespace ilp::engine

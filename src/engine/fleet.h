@@ -19,6 +19,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -47,6 +48,11 @@ struct fleet_config {
     // per-flow fair-share cap inside it.
     std::size_t kernel_queue_packets = 0;
     std::size_t per_flow_queue_cap = 0;
+    // Deterministic trace sampling (obs/sampler.h): which flows' spans the
+    // installed tracer's ring keeps.  A pure function of (seed, flow id),
+    // so the sampled set is invariant under shards/threads — and sampling
+    // can never perturb protocol behaviour or the fleet digest.
+    obs::flow_sampler trace_sampler{};
     flow_config defaults{};
     // Per-flow override hook, applied to a copy of `defaults` before the
     // flow opens (e.g. give 10% of flows a Gilbert–Elliott loss plan).
@@ -59,6 +65,9 @@ struct shard_summary {
     std::uint32_t shard = 0;
     std::uint32_t flows = 0;
     std::uint32_t completed = 0;
+    std::uint32_t failed = 0;     // explicit-failure taxonomy outcomes
+    std::uint32_t fallbacks = 0;  // gate demotions among this shard's flows
+    std::uint64_t rekeys = 0;     // server epoch advances, all flows
     sim_time elapsed_us = 0;  // the shard clock's final reading
     net::pipe_stats reply_data;
     net::pipe_stats reply_ack;
@@ -67,6 +76,11 @@ struct shard_summary {
     // Composition-legality gate activity on this shard (setup + rekey
     // checks, verdict-cache hits, demotions to the layered path).
     analysis::gate_stats gate;
+    // Per-shard flow-latency sketch (log2 buckets over every finished
+    // flow's elapsed_us) and the bounded slowest-flow identities: the O(1)
+    // replacement for per-flow latency state.
+    obs::histogram latency;
+    std::vector<slow_flow> slowest;
 };
 
 struct fleet_report {
@@ -76,8 +90,16 @@ struct fleet_report {
     std::uint32_t verified = 0;
     std::uint32_t failed = 0;  // gave_up + request_rejected + ports_exhausted
     std::uint32_t deadline_exceeded = 0;
+    std::uint32_t trace_sampled = 0;  // flows the sampler selected for spans
     std::uint64_t payload_bytes = 0;
     sim_time max_elapsed_us = 0;  // slowest shard's clock
+    // The sampler the fleet ran under (echoed into the JSON export).
+    obs::flow_sampler sampler;
+    // Fleet-wide flow-latency sketch: the per-shard log2 sketches merged.
+    // Its p99 is the BENCH_scale gating metric `fleet.flow_latency.p99`.
+    obs::histogram flow_latency;
+    // Fleet-wide slowest flows, merged from the per-shard bounded lists.
+    std::vector<slow_flow> slowest;
     // Aggregates under engine.* names, ready to merge into a bench report.
     obs::registry metrics;
 
@@ -91,6 +113,15 @@ struct fleet_report {
     // Sorts flows and computes the aggregate fields and metrics.
     void finalize();
 };
+
+// JSON export of the fleet's observability state: per-shard rollups with
+// latency sketches, the fleet-wide top-k slowest flows, sampling coverage,
+// and a flight-recorder "black box" dump for every flow that failed
+// explicitly or was demoted by the legality gate.  `ilp-trace summarize
+// --fleet` renders it; CI validates and archives it.
+std::string fleet_report_json(const fleet_report& report);
+bool write_fleet_report_json(const fleet_report& report,
+                             const std::string& path);
 
 // Key size for the per-flow static cipher; ciphers without a declared
 // key_bytes (rc4 takes any length) get the historical 8-byte key.
@@ -116,6 +147,7 @@ fleet_report run_fleet(const fleet_config& cfg, MemFactory&& shard_mems) {
     opts.per_flow_queue_cap = cfg.per_flow_queue_cap;
     opts.policy = cfg.policy;
     opts.drr_quantum_bytes = cfg.drr_quantum_bytes;
+    opts.trace_sampler = cfg.trace_sampler;
     if (cfg.kernel_queue_packets != 0) {
         opts.request_forward_faults.max_queue_packets =
             cfg.kernel_queue_packets;
@@ -162,6 +194,7 @@ fleet_report run_fleet(const fleet_config& cfg, MemFactory&& shard_mems) {
     }
 
     fleet_report report;
+    report.sampler = cfg.trace_sampler;
     report.shards.reserve(workers.size());
     for (auto& w : workers) {
         shard_summary s;
@@ -178,9 +211,20 @@ fleet_report run_fleet(const fleet_config& cfg, MemFactory&& shard_mems) {
             s.server_mem = obs::sample_counters(*sys);
         }
         s.gate = w->gate().stats();
+        s.latency = w->latency_sketch();
+        s.slowest = w->slowest_flows();
+        std::sort(s.slowest.begin(), s.slowest.end(),
+                  [](const slow_flow& a, const slow_flow& b) {
+                      return a.elapsed_us != b.elapsed_us
+                                 ? a.elapsed_us > b.elapsed_us
+                                 : a.flow_id < b.flow_id;
+                  });
         for (const flow_outcome& o : w->outcomes()) {
             ++s.flows;
             if (o.completed) ++s.completed;
+            if (o.failed_explicitly()) ++s.failed;
+            if (o.composed_fallback) ++s.fallbacks;
+            s.rekeys += o.rekeys;
             report.flows.push_back(o);
         }
         report.shards.push_back(s);

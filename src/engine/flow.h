@@ -19,6 +19,7 @@
 #include "app/file_transfer.h"
 #include "app/path_mode.h"
 #include "net/datagram.h"
+#include "obs/flight_recorder.h"
 #include "util/virtual_clock.h"
 
 namespace ilp::engine {
@@ -97,12 +98,36 @@ struct flow_outcome {
     // fleet_report::digest(): the demotion is policy, not transfer outcome,
     // and the BENCH baselines predate it.
     bool composed_fallback = false;
+    // Did the deterministic trace sampler select this flow for span tracing?
+    // Pure function of (sampler seed, flow id), so the sampled set is
+    // invariant under shard count and threading.  Digest-excluded:
+    // observability policy, not transfer outcome.
+    bool trace_sampled = true;
+    // Always-on flight recorder: the last obs::flight_recorder::capacity
+    // protocol transitions, virtual-clock stamped.  Dumped as a JSON black
+    // box by fleet_report_json() when the flow failed explicitly or was
+    // demoted by the gate.  Digest-excluded.
+    obs::flight_recorder black_box;
 
     double throughput_mbps() const {
         if (elapsed_us == 0) return 0.0;
         return static_cast<double>(payload_bytes) * 8.0 /
                static_cast<double>(elapsed_us);
     }
+
+    // Did the flow end in one of the explicit failure outcomes (the PR 1/6
+    // taxonomy)?  These are the flows whose black box the fleet report dumps.
+    bool failed_explicitly() const {
+        return gave_up || deadline_exceeded || request_rejected ||
+               ports_exhausted;
+    }
+};
+
+// One entry of a shard's bounded top-k slowest-flows list: the identity the
+// latency sketch cannot keep (log2 buckets forget flow ids).
+struct slow_flow {
+    std::uint32_t flow_id = 0;
+    sim_time elapsed_us = 0;
 };
 
 }  // namespace ilp::engine

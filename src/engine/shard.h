@@ -63,6 +63,10 @@ struct shard_options {
     std::uint16_t first_port = 10'000;
     std::uint16_t last_port = 59'999;
     bool legacy_single_flow = false;
+    // Deterministic per-flow trace sampling (obs/sampler.h): installed on
+    // the shard's tracer and stamped into every outcome.  The default
+    // samples every flow — the pre-sampling behaviour.
+    obs::flow_sampler trace_sampler{};
 };
 
 template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
@@ -82,8 +86,12 @@ public:
                       opts.reply_reverse_faults),
           ports_(opts.first_port, opts.last_port) {
         // An installed tracer timestamps this shard's spans on this shard's
-        // clock (worker threads carry no tracer; the macros no-op there).
-        if (obs::tracer* t = obs::tracer::current()) t->set_clock(&clock_);
+        // clock (worker threads carry no tracer; the macros no-op there)
+        // and applies this shard's flow sampler to its event ring.
+        if (obs::tracer* t = obs::tracer::current()) {
+            t->set_clock(&clock_);
+            t->set_sampler(opts_.trace_sampler);
+        }
         if (!opts_.legacy_single_flow) {
             request_link_.forward().set_receiver(
                 request_fwd_demux_.receiver());
@@ -123,6 +131,7 @@ public:
         e.cfg = cfg;
         e.outcome.flow_id = id;
         e.outcome.shard = index_;
+        e.outcome.trace_sampled = opts_.trace_sampler.sampled(id);
         if (opts_.legacy_single_flow) {
             e.file = "testfile";
         } else {
@@ -148,6 +157,8 @@ public:
             if (!allocate_ports(e)) {
                 e.finished = true;
                 e.outcome.ports_exhausted = true;
+                e.outcome.black_box.record(
+                    clock_.now(), obs::flight_event::ports_exhausted);
                 table_.emplace(id, std::move(holder));
                 return false;
             }
@@ -189,6 +200,8 @@ public:
                 gate_.count_fallback();
                 e.cfg.mode = mode;
                 e.outcome.composed_fallback = true;
+                e.outcome.black_box.record(
+                    clock_.now(), obs::flight_event::composed_fallback);
             }
         }
 
@@ -240,8 +253,12 @@ public:
         if (!issued) {
             e.finished = true;
             e.outcome.request_rejected = true;
+            e.outcome.black_box.record(clock_.now(),
+                                       obs::flight_event::request_rejected);
             teardown(e);
         } else {
+            e.outcome.black_box.record(e.started_at,
+                                       obs::flight_event::connect, id);
             ++active_;
         }
         table_.emplace(id, std::move(holder));
@@ -258,7 +275,10 @@ public:
 
     // Runs every open flow to its terminal outcome.
     void run() {
-        if (obs::tracer* t = obs::tracer::current()) t->set_clock(&clock_);
+        if (obs::tracer* t = obs::tracer::current()) {
+            t->set_clock(&clock_);
+            t->set_sampler(opts_.trace_sampler);
+        }
         while (active_ > 0) tick();
     }
 
@@ -320,6 +340,14 @@ public:
     const Mem& client_mem() const noexcept { return client_mem_; }
     const Mem& server_mem() const noexcept { return server_mem_; }
     const analysis::legality_gate& gate() const noexcept { return gate_; }
+    // Per-shard flow-latency sketch (log2 buckets over elapsed_us of every
+    // finished flow) and the bounded slowest-flow list it cannot express.
+    const obs::histogram& latency_sketch() const noexcept {
+        return latency_sketch_;
+    }
+    const std::vector<slow_flow>& slowest_flows() const noexcept {
+        return slowest_;
+    }
 
 private:
     // e.ports slots; each of the four pipe directions has its own demux, so
@@ -345,6 +373,13 @@ private:
         sched_state sched;
         std::uint64_t serviced_bytes = 0;
         std::uint64_t seen_rekeys = 0;  // last epoch the gate re-verified at
+        // Last counter values the flight recorder turned into events, so
+        // each service visit records only the transitions since the last.
+        std::uint64_t fr_retransmissions = 0;
+        std::uint64_t fr_retries = 0;
+        std::uint64_t fr_rekeys = 0;
+        std::uint64_t fr_tag_failures = 0;
+        std::uint64_t fr_epoch_skews = 0;
         bool finished = false;
         flow_outcome outcome;
     };
@@ -426,6 +461,7 @@ private:
         if (opts_.legacy_single_flow) {
             e.server->pump();
             e.client->poll();
+            record_transitions(e);
             return;
         }
         obs::scoped_flow flow_scope(e.id);
@@ -437,8 +473,51 @@ private:
             if (sent == 0) break;  // TCP window/buffer blocked
             scheduler_.charge(e.sched, sent);
             e.serviced_bytes += sent;
+            e.outcome.black_box.record(clock_.now(),
+                                       obs::flight_event::segment,
+                                       static_cast<std::uint32_t>(sent));
         }
         e.client->poll();
+        record_transitions(e);
+    }
+
+    // Flight recorder: turn this visit's counter deltas into dated events.
+    // A handful of counter loads per flow per tick — O(1), always on.
+    void record_transitions(flow_entry& e) {
+        obs::flight_recorder& fr = e.outcome.black_box;
+        const sim_time now = clock_.now();
+        const std::uint64_t retx = e.server->reply_tcp_stats().retransmissions;
+        if (retx != e.fr_retransmissions) {
+            fr.record(now, obs::flight_event::retransmit,
+                      static_cast<std::uint32_t>(retx));
+            e.fr_retransmissions = retx;
+        }
+        const std::uint64_t retries = e.client->recovery().retries;
+        if (retries != e.fr_retries) {
+            fr.record(now, obs::flight_event::rpc_retry,
+                      static_cast<std::uint32_t>(retries));
+            e.fr_retries = retries;
+        }
+        if (!e.cfg.secure) return;
+        const std::uint64_t rekeys = e.server->secure_stats().rekeys;
+        if (rekeys != e.fr_rekeys) {
+            fr.record(now, obs::flight_event::rekey,
+                      static_cast<std::uint32_t>(rekeys));
+            e.fr_rekeys = rekeys;
+        }
+        const std::uint64_t tags = e.client->secure_stats().tag_failures +
+                                   e.server->secure_stats().tag_failures;
+        if (tags != e.fr_tag_failures) {
+            fr.record(now, obs::flight_event::tag_failure,
+                      static_cast<std::uint32_t>(tags));
+            e.fr_tag_failures = tags;
+        }
+        const std::uint64_t skews = e.client->secure_stats().epoch_skews;
+        if (skews != e.fr_epoch_skews) {
+            fr.record(now, obs::flight_event::epoch_skew,
+                      static_cast<std::uint32_t>(skews));
+            e.fr_epoch_skews = skews;
+        }
     }
 
     void finish(flow_entry& e, bool deadline_hit) {
@@ -480,7 +559,37 @@ private:
                 }
             }
         }
+        // Terminal flight-recorder entry + the shard's O(1) latency state:
+        // a log2-bucket sketch instead of any per-flow histogram, plus a
+        // bounded top-k so the slowest flows keep their identity.
+        const obs::flight_event terminal =
+            o.completed          ? obs::flight_event::completed
+            : o.gave_up          ? obs::flight_event::gave_up
+            : o.deadline_exceeded ? obs::flight_event::deadline_exceeded
+                                  : obs::flight_event::connect;
+        if (terminal != obs::flight_event::connect) {
+            o.black_box.record(clock_.now(), terminal,
+                               static_cast<std::uint32_t>(o.rpc_retries));
+        }
+        latency_sketch_.record(o.elapsed_us);
+        note_slow_flow(o.flow_id, o.elapsed_us);
         teardown(e);
+    }
+
+    // Keeps the k slowest finished flows, replace-min: O(k) per finish with
+    // k fixed, so per-flow cost stays O(1) at any fleet size.
+    void note_slow_flow(std::uint32_t id, sim_time elapsed_us) {
+        if (slowest_.size() < max_slow_flows) {
+            slowest_.push_back({id, elapsed_us});
+            return;
+        }
+        std::size_t min_i = 0;
+        for (std::size_t i = 1; i < slowest_.size(); ++i) {
+            if (slowest_[i].elapsed_us < slowest_[min_i].elapsed_us) min_i = i;
+        }
+        if (elapsed_us > slowest_[min_i].elapsed_us) {
+            slowest_[min_i] = {id, elapsed_us};
+        }
     }
 
     // Recycles the flow's routes, ports and timers.  Endpoint state stays
@@ -514,6 +623,9 @@ private:
     analysis::legality_gate gate_;
     std::map<std::uint32_t, std::unique_ptr<flow_entry>> table_;
     std::size_t active_ = 0;
+    static constexpr std::size_t max_slow_flows = 8;
+    obs::histogram latency_sketch_;
+    std::vector<slow_flow> slowest_;
 };
 
 }  // namespace ilp::engine

@@ -125,6 +125,14 @@ std::string chrome_trace_json(const tracer& t, trace_timebase timebase) {
     out += timebase == trace_timebase::cycles ? "cycles" : "sim_us";
     out += "\",\"dropped_events\":";
     append_u64(out, t.dropped());
+    // Sampling telemetry only when the sampler actually kept events out, so
+    // unsampled traces (and their golden files) render byte-identically.
+    if (t.sampled_out() > 0) {
+        out += ",\"sampled_out\":";
+        append_u64(out, t.sampled_out());
+        out += ",\"sampling_rate_permyriad\":";
+        append_u64(out, t.sampler().rate_permyriad);
+    }
     out += "}}";
     return out;
 }

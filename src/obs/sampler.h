@@ -1,0 +1,44 @@
+// Deterministic per-flow trace sampling.
+//
+// At fleet scale, recording every flow's spans into the tracer ring buries
+// the trace under an arbitrary interleaving and evicts the spans anyone
+// wanted to read.  The sampler makes span *recording* a pure function of
+// (seed, flow id): a flow is traced iff its hashed coin lands under the
+// configured rate.  Because the decision consults nothing but the seed and
+// the flow's own id, the sampled flow set is invariant under shard count,
+// shard packing and serial-vs-threaded execution — the same invariance
+// contract the engine's per-flow fault streams follow (util::derive_seed).
+//
+// Sampling gates only the completed-event ring: unsampled flows still feed
+// the tracer's never-dropped per-stage aggregates and every metric, so
+// fleet-wide accounting stays exact while the trace stays readable.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace ilp::obs {
+
+struct flow_sampler {
+    // Stream-split base for the per-flow sampling coin.  Two fleets with the
+    // same seed and rate sample the same flow ids.
+    std::uint64_t seed = 0;
+    // Sampling rate in parts per ten thousand: 10'000 traces every flow
+    // (the pre-sampling behaviour and the default), 100 traces ~1 %, 0
+    // traces none.
+    std::uint32_t rate_permyriad = 10'000;
+
+    // Is `flow` span-traced?  Spans that are not flow-scoped (flow < 0 —
+    // harness-level work) are always recorded.
+    bool sampled(std::int64_t flow) const noexcept {
+        if (flow < 0 || rate_permyriad >= 10'000) return true;
+        if (rate_permyriad == 0) return false;
+        return derive_seed(seed, static_cast<std::uint64_t>(flow)) % 10'000 <
+               rate_permyriad;
+    }
+
+    friend bool operator==(const flow_sampler&, const flow_sampler&) = default;
+};
+
+}  // namespace ilp::obs

@@ -128,12 +128,8 @@ void tracer::record_instant(const char* category, const char* name) {
 }
 
 void tracer::push_event(const span& s) {
-    span stamped = s;
-    stamped.seq = recorded_;
-    ring_[write_] = stamped;
-    write_ = (write_ + 1) % ring_.size();
-    ++recorded_;
-
+    // Aggregates first: they are never dropped and never sampled — every
+    // flow's work lands here whatever the sampler decides about its spans.
     stage_key key{s.side != nullptr ? s.side : "", s.category, s.name};
     stage_totals& totals = stages_[std::move(key)];
     ++totals.count;
@@ -142,6 +138,19 @@ void tracer::push_event(const span& s) {
     totals.incl += s.incl;
     totals.self += s.self;
     if (s.kind == event_kind::span) totals.self_cycles.record(s.self.cycles);
+
+    // The ring records only sampled flows (non-flow-scoped events always
+    // pass).  Sampled-out events are counted separately from dropped():
+    // a drop is an overwrite the ring could not avoid, sampling is policy.
+    if (!sampler_.sampled(s.flow)) {
+        ++sampled_out_;
+        return;
+    }
+    span stamped = s;
+    stamped.seq = recorded_;
+    ring_[write_] = stamped;
+    write_ = (write_ + 1) % ring_.size();
+    ++recorded_;
 }
 
 }  // namespace ilp::obs

@@ -31,6 +31,7 @@
 #include "memsim/mem_policy.h"
 #include "obs/counters.h"
 #include "obs/registry.h"
+#include "obs/sampler.h"
 #include "util/virtual_clock.h"
 
 #ifndef ILP_OBS_ENABLED
@@ -95,6 +96,14 @@ public:
     void set_clock(const virtual_clock* clock) noexcept { clock_ = clock; }
     const virtual_clock* clock() const noexcept { return clock_; }
 
+    // Deterministic flow sampling: completed events whose flow id the
+    // sampler rejects are counted in sampled_out() and skipped by the ring,
+    // but still feed the per-stage aggregates.  The default sampler records
+    // everything (the pre-sampling behaviour).
+    void set_sampler(const flow_sampler& s) noexcept { sampler_ = s; }
+    const flow_sampler& sampler() const noexcept { return sampler_; }
+    std::uint64_t sampled_out() const noexcept { return sampled_out_; }
+
     // --- completed-event ring ------------------------------------------
     std::size_t capacity() const noexcept { return ring_.size(); }
     std::uint64_t recorded() const noexcept { return recorded_; }
@@ -150,9 +159,11 @@ private:
     const char* side_ = nullptr;
     std::int64_t flow_ = -1;  // current flow scope (-1: none)
     std::vector<frame> stack_;
+    flow_sampler sampler_{};
     std::vector<span> ring_;
-    std::size_t write_ = 0;      // next ring slot
-    std::uint64_t recorded_ = 0;  // completed events ever
+    std::size_t write_ = 0;       // next ring slot
+    std::uint64_t recorded_ = 0;  // events the ring accepted, ever
+    std::uint64_t sampled_out_ = 0;  // events the sampler kept out of the ring
     std::map<stage_key, stage_totals> stages_;
 };
 

@@ -324,5 +324,57 @@ TEST(EngineDeterminism, ThreadedShardsMatchSerialExecution) {
     EXPECT_EQ(serial.payload_bytes, threaded.payload_bytes);
 }
 
+// --- trace-sampling determinism --------------------------------------------
+
+fleet_config sampled_config(std::uint32_t shards, bool threaded = false,
+                            std::uint32_t rate_permyriad = 5'000) {
+    fleet_config cfg = invariance_config(shards, threaded);
+    cfg.trace_sampler.seed = 0x0b5eed;
+    cfg.trace_sampler.rate_permyriad = rate_permyriad;
+    return cfg;
+}
+
+// Which flows get span-traced is a pure function of (sampler seed, flow
+// id): re-packing the fleet onto a different shard count, or running the
+// shards on real threads, must select exactly the same flows.  (Runs under
+// the TSan CI leg via the EngineDeterminism filter.)
+TEST(EngineDeterminism, SampledFlowSetInvariantUnderShardsAndThreads) {
+    const fleet_report one = run_fleet_native<cipher>(sampled_config(1));
+    const fleet_report four = run_fleet_native<cipher>(sampled_config(4));
+    const fleet_report threaded =
+        run_fleet_native<cipher>(sampled_config(4, true));
+    ASSERT_EQ(one.flows.size(), four.flows.size());
+    ASSERT_EQ(one.flows.size(), threaded.flows.size());
+    const obs::flow_sampler reference{.seed = 0x0b5eed,
+                                      .rate_permyriad = 5'000};
+    for (std::size_t i = 0; i < one.flows.size(); ++i) {
+        const bool expected = reference.sampled(one.flows[i].flow_id);
+        EXPECT_EQ(one.flows[i].trace_sampled, expected);
+        EXPECT_EQ(four.flows[i].trace_sampled, expected);
+        EXPECT_EQ(threaded.flows[i].trace_sampled, expected);
+    }
+    EXPECT_EQ(one.trace_sampled, four.trace_sampled);
+    EXPECT_EQ(one.trace_sampled, threaded.trace_sampled);
+    // Non-vacuous at 50%: some but not all of the 12 flows selected.
+    EXPECT_GT(one.trace_sampled, 0u);
+    EXPECT_LT(one.trace_sampled, one.flows.size());
+}
+
+// Sampling gates only what the tracer ring keeps; the transfers themselves
+// must be bit-identical whether the fleet samples nothing, everything, or
+// some deterministic subset.
+TEST(EngineDeterminism, SamplingRateCannotPerturbOutcomes) {
+    const fleet_report none =
+        run_fleet_native<cipher>(sampled_config(4, false, 0));
+    const fleet_report half =
+        run_fleet_native<cipher>(sampled_config(4, false, 5'000));
+    const fleet_report all =
+        run_fleet_native<cipher>(sampled_config(4, false, 10'000));
+    EXPECT_EQ(none.digest(), half.digest());
+    EXPECT_EQ(none.digest(), all.digest());
+    EXPECT_EQ(none.trace_sampled, 0u);
+    EXPECT_EQ(all.trace_sampled, all.flows.size());
+}
+
 }  // namespace
 }  // namespace ilp::engine

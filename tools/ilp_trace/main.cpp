@@ -1,24 +1,35 @@
 // ilp-trace: offline companion for the src/obs instrumentation.
 //
 //   ilp-trace summarize <trace.json>         per-stage table from a Chrome
-//       [--per-flow]                         trace_event file, with self
+//       [--per-flow] [--top N] [--strict]    trace_event file, with self
 //                                            cache-miss attribution by stage
-//                                            (--per-flow splits by flow tag)
+//                                            (--per-flow splits by flow tag;
+//                                            --top N keeps the N costliest
+//                                            flows; --strict exits 1 if the
+//                                            tracer ring dropped events)
+//   ilp-trace summarize --fleet <fleet.json> fleet_report view: per-shard
+//       [--top N] [--strict]                 rollups, latency sketches,
+//                                            slowest flows, sampling
+//                                            coverage and black boxes
 //   ilp-trace validate  <file.json>          structural check of a Chrome
 //                                            trace or a BENCH schema file
 //   ilp-trace diff <old.json> <new.json>     compare two BENCH JSON reports
 //       [--threshold=<pct>]                  (also accepted: --diff old new)
 //
-// Exit codes: 0 success / no regression, 1 regression beyond threshold,
-// 2 usage, I/O, or parse error.  CI runs `diff` against a checked-in
-// baseline so perf regressions fail the build without gating tier-1 tests.
+// Exit codes: 0 success / no regression, 1 regression beyond threshold (or
+// dropped events under --strict), 2 usage, I/O, or parse error.  CI runs
+// `diff` against a checked-in baseline so perf regressions fail the build
+// without gating tier-1 tests.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "stats/table.h"
@@ -30,7 +41,10 @@ using ilp::json::value;
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: ilp-trace summarize <trace.json> [--per-flow]\n"
+                 "usage: ilp-trace summarize <trace.json> [--per-flow]"
+                 " [--top N] [--strict]\n"
+                 "       ilp-trace summarize --fleet <fleet.json>"
+                 " [--top N] [--strict]\n"
                  "       ilp-trace validate <file.json>\n"
                  "       ilp-trace diff <old.json> <new.json>"
                  " [--threshold=<pct>]\n");
@@ -59,7 +73,8 @@ struct stage_sum {
 // --per-flow every event lands there, so the extra tuple slot is invisible.
 using stage_group = std::tuple<long long, std::string, std::string>;
 
-int cmd_summarize(const std::string& path, bool per_flow) {
+int cmd_summarize(const std::string& path, bool per_flow, long long top,
+                  bool strict) {
     const std::optional<value> doc = ilp::json::parse_file(path);
     if (!doc.has_value()) {
         std::fprintf(stderr, "ilp-trace: cannot parse %s\n", path.c_str());
@@ -116,6 +131,37 @@ int cmd_summarize(const std::string& path, bool per_flow) {
     std::uint64_t total_self_misses = 0;
     for (const auto& [key, s] : stages) total_self_misses += s.self_l1d_misses;
 
+    // --top N: keep only the N costliest flows by total self cycles.  Rows
+    // not scoped to a flow (flow -1) always stay, and the miss-% column
+    // keeps the whole-trace denominator so shares still add up.
+    if (per_flow && top > 0) {
+        std::map<long long, std::uint64_t> flow_cycles;
+        for (const auto& [key, s] : stages) {
+            if (std::get<0>(key) >= 0) {
+                flow_cycles[std::get<0>(key)] += s.self_cycles;
+            }
+        }
+        std::vector<std::pair<std::uint64_t, long long>> ranked;
+        ranked.reserve(flow_cycles.size());
+        for (const auto& [flow, cycles] : flow_cycles) {
+            ranked.emplace_back(cycles, flow);
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first != b.first ? a.first > b.first
+                                               : a.second < b.second;
+                  });
+        if (ranked.size() > static_cast<std::size_t>(top)) {
+            ranked.resize(static_cast<std::size_t>(top));
+        }
+        std::set<long long> keep;
+        for (const auto& [cycles, flow] : ranked) keep.insert(flow);
+        std::erase_if(stages, [&](const auto& kv) {
+            const long long flow = std::get<0>(kv.first);
+            return flow >= 0 && keep.find(flow) == keep.end();
+        });
+    }
+
     std::vector<std::string> headers;
     if (per_flow) headers.push_back("flow");
     for (const char* h : {"side", "stage", "count", "dur", "self accesses",
@@ -156,6 +202,158 @@ int cmd_summarize(const std::string& path, bool per_flow) {
                     return n;
                 }()),
                 static_cast<unsigned long long>(instants));
+
+    // Exporter telemetry: sampling is policy (quiet note), ring overwrites
+    // are data loss (loud warning, and a failure under --strict).
+    std::uint64_t dropped = 0;
+    std::uint64_t sampled_out = 0;
+    if (const value* other = doc->find("otherData")) {
+        dropped =
+            static_cast<std::uint64_t>(other->number_at("dropped_events"));
+        sampled_out =
+            static_cast<std::uint64_t>(other->number_at("sampled_out"));
+    }
+    if (sampled_out > 0) {
+        std::printf("%llu event(s) withheld by the flow sampler (policy)\n",
+                    static_cast<unsigned long long>(sampled_out));
+    }
+    if (dropped > 0) {
+        std::fprintf(stderr,
+                     "ilp-trace: WARNING: tracer ring dropped %llu event(s) "
+                     "-- the table above is incomplete; grow the ring or "
+                     "sample fewer flows\n",
+                     static_cast<unsigned long long>(dropped));
+        if (strict) return 1;
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------- summarize fleet
+
+void print_latency(const value& node, const char* label) {
+    const value* lat = node.find("latency");
+    if (lat == nullptr) return;
+    std::printf(
+        "%s: count %llu  min %llu us  p50 %.0f us  p90 %.0f us  "
+        "p99 %.0f us  max %llu us\n",
+        label,
+        static_cast<unsigned long long>(lat->number_at("count")),
+        static_cast<unsigned long long>(lat->number_at("min_us")),
+        lat->number_at("p50_us"), lat->number_at("p90_us"),
+        lat->number_at("p99_us"),
+        static_cast<unsigned long long>(lat->number_at("max_us")));
+}
+
+int cmd_summarize_fleet(const std::string& path, long long top, bool strict) {
+    const std::optional<value> doc = ilp::json::parse_file(path);
+    if (!doc.has_value()) {
+        std::fprintf(stderr, "ilp-trace: cannot parse %s\n", path.c_str());
+        return 2;
+    }
+    if (doc->string_at("kind") != "fleet_report") {
+        std::fprintf(stderr, "ilp-trace: %s is not a fleet_report file\n",
+                     path.c_str());
+        return 2;
+    }
+
+    const auto flows = static_cast<unsigned long long>(doc->number_at("flows"));
+    std::printf(
+        "fleet: %llu flow(s)  %llu completed  %llu verified  %llu failed  "
+        "%llu deadline_exceeded  digest %s\n",
+        flows, static_cast<unsigned long long>(doc->number_at("completed")),
+        static_cast<unsigned long long>(doc->number_at("verified")),
+        static_cast<unsigned long long>(doc->number_at("failed")),
+        static_cast<unsigned long long>(doc->number_at("deadline_exceeded")),
+        doc->string_at("digest").c_str());
+    print_latency(*doc, "flow latency");
+
+    std::uint64_t trace_dropped = 0;
+    if (const value* sampling = doc->find("sampling")) {
+        const auto sampled = static_cast<unsigned long long>(
+            sampling->number_at("sampled_flows"));
+        trace_dropped = static_cast<std::uint64_t>(
+            sampling->number_at("trace_dropped"));
+        std::printf(
+            "sampling: %llu/%llu flow(s) span-traced (%.2f %%, rate %llu "
+            "permyriad, seed %llu)\n",
+            sampled, flows,
+            flows == 0 ? 0.0
+                       : 100.0 * static_cast<double>(sampled) /
+                             static_cast<double>(flows),
+            static_cast<unsigned long long>(
+                sampling->number_at("rate_permyriad")),
+            static_cast<unsigned long long>(sampling->number_at("seed")));
+    }
+
+    if (const value* shards_v = doc->find("shards")) {
+        if (const ilp::json::array* shards = shards_v->as_array()) {
+            ilp::stats::table out({"shard", "flows", "completed", "failed",
+                                   "fallbacks", "rekeys", "elapsed us",
+                                   "p50 us", "p99 us"});
+            for (const value& s : *shards) {
+                const value* lat = s.find("latency");
+                out.row()
+                    .cell(static_cast<std::uint64_t>(s.number_at("shard")))
+                    .cell(static_cast<std::uint64_t>(s.number_at("flows")))
+                    .cell(static_cast<std::uint64_t>(s.number_at("completed")))
+                    .cell(static_cast<std::uint64_t>(s.number_at("failed")))
+                    .cell(static_cast<std::uint64_t>(s.number_at("fallbacks")))
+                    .cell(static_cast<std::uint64_t>(s.number_at("rekeys")))
+                    .cell(
+                        static_cast<std::uint64_t>(s.number_at("elapsed_us")))
+                    .cell(lat == nullptr ? 0.0 : lat->number_at("p50_us"), 0)
+                    .cell(lat == nullptr ? 0.0 : lat->number_at("p99_us"), 0);
+            }
+            out.print();
+        }
+    }
+
+    if (const value* slowest_v = doc->find("top_slowest")) {
+        if (const ilp::json::array* slowest = slowest_v->as_array()) {
+            std::printf("slowest flow(s):");
+            std::size_t shown = 0;
+            for (const value& s : *slowest) {
+                if (top > 0 && shown >= static_cast<std::size_t>(top)) break;
+                std::printf(" %llu (%llu us)",
+                            static_cast<unsigned long long>(
+                                s.number_at("flow")),
+                            static_cast<unsigned long long>(
+                                s.number_at("elapsed_us")));
+                ++shown;
+            }
+            std::printf("\n");
+        }
+    }
+
+    if (const value* boxes_v = doc->find("black_boxes")) {
+        if (const ilp::json::array* boxes = boxes_v->as_array()) {
+            std::printf("%zu black box(es)\n", boxes->size());
+            for (const value& b : *boxes) {
+                const ilp::json::array* events =
+                    b.find("events") == nullptr
+                        ? nullptr
+                        : b.find("events")->as_array();
+                const value* fb = b.find("composed_fallback");
+                std::printf(
+                    "  flow %llu shard %llu: %s%s, %zu/%llu event(s)\n",
+                    static_cast<unsigned long long>(b.number_at("flow")),
+                    static_cast<unsigned long long>(b.number_at("shard")),
+                    b.string_at("outcome").c_str(),
+                    fb != nullptr && fb->as_bool() ? " (composed_fallback)"
+                                                   : "",
+                    events == nullptr ? 0 : events->size(),
+                    static_cast<unsigned long long>(b.number_at("recorded")));
+            }
+        }
+    }
+
+    if (trace_dropped > 0) {
+        std::fprintf(stderr,
+                     "ilp-trace: WARNING: tracer ring dropped %llu event(s) "
+                     "during the fleet run\n",
+                     static_cast<unsigned long long>(trace_dropped));
+        if (strict) return 1;
+    }
     return 0;
 }
 
@@ -339,10 +537,30 @@ int main(int argc, char** argv) {
     std::vector<std::string> paths;
     double threshold_pct = 5.0;
     bool per_flow = false;
+    bool fleet = false;
+    bool strict = false;
+    long long top = 0;  // 0 = unlimited
+    const auto parse_top = [&](const char* text) {
+        char* end = nullptr;
+        top = std::strtoll(text, &end, 10);
+        if (end == nullptr || *end != '\0' || top <= 0) {
+            std::fprintf(stderr, "ilp-trace: bad --top %s\n", text);
+            return false;
+        }
+        return true;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--per-flow") {
             per_flow = true;
+        } else if (arg == "--fleet") {
+            fleet = true;
+        } else if (arg == "--strict") {
+            strict = true;
+        } else if (arg.rfind("--top=", 0) == 0) {
+            if (!parse_top(arg.c_str() + 6)) return 2;
+        } else if (arg == "--top") {
+            if (i + 1 >= argc || !parse_top(argv[++i])) return 2;
         } else if (arg.rfind("--threshold=", 0) == 0) {
             char* end = nullptr;
             threshold_pct = std::strtod(arg.c_str() + 12, &end);
@@ -360,7 +578,8 @@ int main(int argc, char** argv) {
         }
     }
     if (command == "summarize" && paths.size() == 1) {
-        return cmd_summarize(paths[0], per_flow);
+        return fleet ? cmd_summarize_fleet(paths[0], top, strict)
+                     : cmd_summarize(paths[0], per_flow, top, strict);
     }
     if (command == "validate" && paths.size() == 1) {
         return cmd_validate(paths[0]);
