@@ -1,0 +1,274 @@
+// Pipelined-dataplane ablation: serial vs stage-pipelined reply path,
+// swept over the scheduler batch size k.
+//
+// The tentpole contract is that intra-flow stage pipelining over SPSC rings
+// — segmentize → fused marshal/encrypt/checksum → ack/window bookkeeping —
+// is a *scheduling* transformation: every cell of the {serial, pipelined×k,
+// worker-threaded pipelined} grid must produce the identical fleet digest.
+// The bench enforces that (exit 1 on any mismatch), then reports what the
+// pipeline actually did: segments and batches carried, ring stall counts
+// (full/empty waits), and a per-stage memsim attribution of the server
+// side's memory cycles from tracer spans — the Figure 13/14 breakdown for
+// the three pipeline stages, showing the fused stage dominating.
+//
+// Observability hooks (the BENCH regression pipeline):
+//   --smoke        smaller fleet (fast CI variant; the checked-in baseline
+//                  bench/baselines/BENCH_pipeline.json records this run)
+//   --json=PATH    write a versioned BENCH JSON report (schema v2) for
+//                  `ilp-trace --diff` against the baseline.
+//   --trace=PATH   Chrome trace of the k=4 simulated run, for
+//                  `ilp-trace summarize --per-stage-worker`.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crypto/safer_simplified.h"
+#include "engine/fleet.h"
+#include "memsim/configs.h"
+#include "obs/bench_json.h"
+#include "obs/export_chrome.h"
+#include "obs/tracer.h"
+#include "stats/table.h"
+
+namespace {
+
+using namespace ilp;
+using ilp::engine::fleet_config;
+using ilp::engine::fleet_report;
+using cipher = crypto::safer_simplified;
+
+fleet_config pipe_fleet(std::uint32_t flows, std::size_t file_bytes,
+                        std::size_t depth, std::size_t k,
+                        bool workers = false) {
+    fleet_config cfg;
+    cfg.flows = flows;
+    cfg.shards = 4;
+    cfg.policy = engine::sched_policy::deficit_round_robin;
+    cfg.pipeline_workers = workers;
+    cfg.threaded = workers;  // the worker leg also threads the shards
+    cfg.defaults.file_bytes = file_bytes;
+    cfg.defaults.packet_wire_bytes = 1024;
+    cfg.defaults.pipeline_depth = depth;
+    cfg.defaults.pipeline_batch = k;
+    return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string json_path;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            trace_path = arg.substr(8);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_pipeline [--smoke] [--json=PATH]"
+                         " [--trace=PATH]\n");
+            return 2;
+        }
+    }
+
+    const std::uint32_t flows = smoke ? 8 : 32;
+    const std::size_t file_bytes = smoke ? 4 * 1024 : 15 * 1024;
+    const std::size_t depth = 4;
+    const std::vector<std::size_t> batches = {1, 4, 16};
+
+    obs::bench_report report("pipeline");
+    report.meta("mode", smoke ? "smoke" : "full");
+    report.meta("flows", std::to_string(flows));
+    report.meta("file_bytes", std::to_string(file_bytes));
+    report.meta("pipeline_depth", std::to_string(depth));
+    report.meta("shards", "4");
+    report.meta("cipher", "safer_simplified");
+
+    std::printf("=== Pipelined dataplane ablation: serial vs SPSC-ring "
+                "stage pipelining (depth %zu) ===\n\n",
+                depth);
+
+    // Digest gate #1: the serial reference.
+    const fleet_report serial = engine::run_fleet_native<cipher>(
+        pipe_fleet(flows, file_bytes, 0, 1));
+    if (serial.completed != flows) {
+        std::fprintf(stderr, "ERROR: serial fleet failed (%u/%u)\n",
+                     serial.completed, flows);
+        return 1;
+    }
+
+    stats::table table({"config", "digest", "segments", "batches",
+                        "full waits", "empty waits"});
+    table.row()
+        .cell("serial")
+        .cell("(reference)")
+        .cell(0.0, 0)
+        .cell(0.0, 0)
+        .cell(0.0, 0)
+        .cell(0.0, 0);
+
+    // The k sweep: every batch size must reproduce the serial digest, and
+    // the segment/batch counters expose the batching actually happening
+    // (k segments per stage-A burst => segments/batches ≈ k while the
+    // window allows it).
+    for (const std::size_t k : batches) {
+        const fleet_report piped = engine::run_fleet_native<cipher>(
+            pipe_fleet(flows, file_bytes, depth, k));
+        const bool match = piped.digest() == serial.digest();
+        if (!match) {
+            std::fprintf(stderr,
+                         "ERROR: pipelined k=%zu diverged from serial "
+                         "(digest %016llx vs %016llx)\n",
+                         k, static_cast<unsigned long long>(piped.digest()),
+                         static_cast<unsigned long long>(serial.digest()));
+            return 1;
+        }
+        const double segments =
+            static_cast<double>(piped.metrics.counter("pipeline.segments"));
+        const double batch_count =
+            static_cast<double>(piped.metrics.counter("pipeline.batches"));
+        const double full_waits = static_cast<double>(
+            piped.metrics.counter("pipeline.ring.full_waits"));
+        const double empty_waits = static_cast<double>(
+            piped.metrics.counter("pipeline.ring.empty_waits"));
+        if (segments == 0.0) {
+            std::fprintf(stderr,
+                         "ERROR: pipelined k=%zu carried no segments\n", k);
+            return 1;
+        }
+        table.row()
+            .cell("pipelined k=" + std::to_string(k))
+            .cell("match")
+            .cell(segments, 0)
+            .cell(batch_count, 0)
+            .cell(full_waits, 0)
+            .cell(empty_waits, 0);
+        const std::string key = "k" + std::to_string(k);
+        report.metric(key + ".segments", segments, "count",
+                      obs::direction::info);
+        report.metric(key + ".batches", batch_count, "count",
+                      obs::direction::info);
+        report.metric(key + ".segments_per_batch",
+                      batch_count == 0.0 ? 0.0 : segments / batch_count,
+                      "ratio", obs::direction::higher_is_better);
+        report.metric(key + ".ring_full_waits", full_waits, "count",
+                      obs::direction::info);
+        report.metric(key + ".ring_empty_waits", empty_waits, "count",
+                      obs::direction::info);
+    }
+    table.print();
+
+    // Digest gate #2: the fused stage on a real worker thread per shard,
+    // shards threaded too — still the serial digest.
+    const fleet_report workers = engine::run_fleet_native<cipher>(
+        pipe_fleet(flows, file_bytes, depth, 4, true));
+    if (workers.digest() != serial.digest()) {
+        std::fprintf(stderr,
+                     "ERROR: worker-threaded pipeline diverged from serial "
+                     "(digest %016llx vs %016llx)\n",
+                     static_cast<unsigned long long>(workers.digest()),
+                     static_cast<unsigned long long>(serial.digest()));
+        return 1;
+    }
+    std::printf("\nworker-threaded pipeline (k=4): digest match\n");
+    report.metric("determinism.digest_stable", 1.0, "bool",
+                  obs::direction::higher_is_better);
+
+    // Per-stage memsim attribution: a simulated-memory fleet (one serial
+    // shard — the tracer is thread-local; simulated memory demotes the
+    // fused stage to inline stepping) with spans on.  Each pipeline stage's
+    // *self* cycles come straight from the tracer aggregates, per k, giving
+    // the paper's Figure 13/14 cost breakdown for the pipelined path: the
+    // fused marshal/encrypt/checksum loop carries the memory traffic,
+    // segmentize and bookkeeping stay cheap.
+    std::printf("\n--- per-stage server memory attribution (SuperSPARC, "
+                "simulated) ---\n");
+    // The three stage spans are disjoint siblings, so *inclusive* totals
+    // give a double-count-free per-stage cost split (the fused stage's
+    // nested fused_part spans fold into it, where they belong).
+    stats::table stage_table(
+        {"k", "stage", "spans", "cycles", "accesses"});
+    for (const std::size_t k : batches) {
+        obs::tracer tracer(1 << 16);
+        obs::tracer* prev = obs::tracer::install(&tracer);
+        fleet_config sim_cfg =
+            pipe_fleet(smoke ? 4 : 8, file_bytes, depth, k);
+        sim_cfg.shards = 1;
+        const fleet_report sim = engine::run_fleet_simulated<cipher>(
+            sim_cfg, memsim::supersparc_no_l2());
+        obs::tracer::install(prev);
+        if (sim.completed != sim_cfg.flows) {
+            std::fprintf(stderr, "ERROR: simulated fleet k=%zu failed\n", k);
+            return 1;
+        }
+        if (k == 4 && !trace_path.empty() &&
+            !obs::write_chrome_trace(tracer, trace_path,
+                                     obs::trace_timebase::sim_us)) {
+            std::fprintf(stderr, "ERROR: cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        // Access counts are address-independent, so they are bit-stable
+        // across runs and machines — those are the gated metrics.  Cycles
+        // and misses depend on where the allocator put the buffers (cache
+        // set mapping), so they are reported as info only.
+        std::uint64_t fused_accesses = 0;
+        std::uint64_t other_accesses = 0;
+        for (const auto& [stage, totals] : tracer.stages()) {
+            if (stage.side != "server" || stage.category != "pipeline") {
+                continue;
+            }
+            stage_table.row()
+                .cell(static_cast<double>(k), 0)
+                .cell(stage.name)
+                .cell(static_cast<double>(totals.count), 0)
+                .cell(static_cast<double>(totals.incl.cycles), 0)
+                .cell(static_cast<double>(totals.incl.accesses()), 0);
+            const std::string stage_key =
+                "stage.k" + std::to_string(k) + "." + stage.name;
+            report.metric(stage_key + ".accesses",
+                          static_cast<double>(totals.incl.accesses()),
+                          "accesses", obs::direction::lower_is_better);
+            report.metric(stage_key + ".cycles",
+                          static_cast<double>(totals.incl.cycles), "cycles",
+                          obs::direction::info);
+            if (stage.name == "fused_loop") {
+                fused_accesses += totals.incl.accesses();
+            } else {
+                other_accesses += totals.incl.accesses();
+            }
+        }
+        // The ILP thesis, restated per stage: the fused loop is where the
+        // data manipulations (and so the memory traffic) live.
+        if (fused_accesses == 0 || fused_accesses <= other_accesses) {
+            std::fprintf(stderr,
+                         "ERROR: k=%zu fused stage does not dominate "
+                         "(fused %llu accesses vs other stages %llu)\n",
+                         k, static_cast<unsigned long long>(fused_accesses),
+                         static_cast<unsigned long long>(other_accesses));
+            return 1;
+        }
+        report.metric("stage.k" + std::to_string(k) + ".fused_share_pct",
+                      100.0 * static_cast<double>(fused_accesses) /
+                          static_cast<double>(fused_accesses + other_accesses),
+                      "percent", obs::direction::higher_is_better);
+    }
+    stage_table.print();
+
+    std::printf("\nShape: every pipelined configuration reproduces the "
+                "serial digest (the pipeline is a scheduling transformation,"
+                " not a behavioural one); the fused stage carries the memory"
+                " traffic, so deeper batching amortises scheduler visits"
+                " without touching per-byte cost.\n");
+
+    std::fputs(report.render().c_str(), stdout);
+    if (!json_path.empty() && !report.write(json_path)) {
+        std::fprintf(stderr, "ERROR: cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    return 0;
+}

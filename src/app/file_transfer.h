@@ -230,6 +230,148 @@ public:
         return wire;
     }
 
+    // -----------------------------------------------------------------------
+    // Pipelined dataplane (ILP mode only): pump_one() split into its three
+    // stages so a stage_runner can overlap the fused loop of segment n with
+    // the segmentation of segment n+1.  Serial equivalence contract: for any
+    // job queue, segmentize → fuse → complete performs exactly the sends,
+    // counter updates and rekeys that the same number of pump_one() calls
+    // would — stage A charges nothing, stage C mirrors the serial counter
+    // block verbatim, and the rekey barrier (pipeline_flush_pending) makes
+    // the caller drain before a key-window advance, so every segment is
+    // encrypted under the same epoch it would be serially.
+
+    // One in-flight reply segment.  The staging block lives here because
+    // `src` holds gather segments pointing into it; slots therefore need
+    // stable addresses for their lifetime (the stage_runner's pool provides
+    // that).
+    struct pipeline_slot {
+        rpc::reply_staging staging;
+        core::gather_source src;
+        core::message_plan plan;
+        typename tcp::tcp_sender<Mem>::pending_segment pending;
+        std::size_t wire = 0;         // full wire size incl. trailer
+        std::size_t payload_len = 0;  // file bytes carried
+        const Cipher* cipher = nullptr;
+        crypto::key_epoch epoch = 0;
+        bool secure = false;
+        std::uint16_t payload_sum = 0;
+        std::optional<Mem> mem;
+    };
+
+    // Stage A: claim the next segment of the front job — build its source
+    // and plan, reserve (but do not fill or publish) its ring space, and
+    // snapshot the cipher/epoch it must be encrypted under.  Returns false
+    // exactly when pump_one() would return 0: no runnable job, failed reply
+    // stream, or no buffer/window space for the reservation.
+    bool segmentize_segment(pipeline_slot& slot) {
+        ILP_OBS_ATTR("server", obs_src_);
+        if (reply_tx_.failed()) {
+            if (!jobs_.empty()) {
+                jobs_abandoned_ += jobs_.size();
+                jobs_.clear();
+            }
+            return false;
+        }
+        while (!jobs_.empty() && jobs_.front().finished) jobs_.pop_front();
+        if (jobs_.empty()) return false;
+        reply_job& job = jobs_.front();
+        ILP_OBS_SPAN("app", "reply_segment");
+
+        const std::size_t remaining = job.file->size() - job.offset;
+        const std::size_t payload_len = std::min<std::size_t>(
+            remaining, job.request.max_reply_payload);
+
+        rpc::reply_header header;
+        header.request_id = job.request.request_id;
+        header.copy_index = job.copy;
+        header.offset = static_cast<std::uint32_t>(job.offset);
+        header.total_bytes = static_cast<std::uint32_t>(job.file->size());
+
+        const rpc::reply_layout layout = rpc::layout_reply(payload_len);
+        const std::size_t wire = layout.wire_bytes + trailer_bytes();
+        const auto pending = reply_tx_.reserve_segment(wire);
+        if (!pending.has_value()) {
+            return false;  // delayed until buffer space is available (§3.2.2)
+        }
+        slot.src = rpc::make_reply_source(
+            header, {job.file->data() + job.offset, payload_len},
+            slot.staging);
+        slot.plan = layout.plan;
+        slot.pending = *pending;
+        slot.wire = wire;
+        slot.payload_len = payload_len;
+        slot.mem = mem_;
+        slot.secure = false;
+        slot.cipher = &data_cipher();
+        slot.epoch = 0;
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (secure_framing(secure_)) {
+                slot.secure = true;
+                slot.cipher = &chain_->current();
+                slot.epoch = chain_->current_epoch();
+                // Predict the rekey maybe_rekey() will perform when this
+                // segment completes: everything already segmentized was (or
+                // will be) encrypted under the current epoch, so the caller
+                // must drain the pipeline before any further segmentation.
+                if (secure_.rekey_interval_bytes != 0) {
+                    predicted_bytes_since_rekey_ += wire;
+                    if (predicted_bytes_since_rekey_ >=
+                        secure_.rekey_interval_bytes) {
+                        predicted_bytes_since_rekey_ = 0;
+                        flush_pending_ = true;
+                    }
+                }
+            }
+        }
+
+        job.offset += payload_len;
+        if (job.offset >= job.file->size()) {
+            job.offset = 0;
+            if (++job.copy >= job.request.copy_count) job.finished = true;
+        }
+        if (job.finished) jobs_.pop_front();
+        return true;
+    }
+
+    // Stage B: the fused marshal+encrypt+checksum loop, writing straight
+    // into the reserved ring span.  Static and self-contained (everything it
+    // reads lives in the slot) so it can run on a pipeline worker thread.
+    static void fuse_slot(pipeline_slot& slot) {
+        if constexpr (crypto::aead_capable<Cipher>) {
+            if (slot.secure) {
+                slot.payload_sum = fill_message_secure_ilp(
+                    *slot.mem, *slot.cipher, slot.epoch, slot.src, slot.plan,
+                    slot.pending.dst);
+                return;
+            }
+        }
+        slot.payload_sum =
+            fill_message_ilp(*slot.mem, *slot.cipher, slot.src, slot.plan,
+                             slot.pending.dst);
+    }
+
+    // Stage C: publish the filled segment (transmit + retransmit arming) and
+    // perform the serial path's bookkeeping — the counter block here must
+    // stay line-for-line equivalent to send_message_[secure_]ilp +
+    // send_next_reply, or pipelined flows would diverge from serial digests.
+    void complete_segment(pipeline_slot& slot) {
+        ILP_OBS_ATTR("server", obs_src_);
+        reply_tx_.commit_segment(slot.pending, slot.payload_sum);
+        ++tx_counters_.messages;
+        tx_counters_.wire_bytes += slot.wire;
+        tx_counters_.fused_loop_bytes += slot.wire;
+        tx_counters_.cipher_bytes +=
+            slot.secure ? slot.wire - rpc::secure_trailer_bytes : slot.wire;
+        tx_counters_.payload_bytes += slot.payload_len;
+        maybe_rekey(slot.wire);
+    }
+
+    // True when a segmentized segment will advance the key window at
+    // completion: the caller must drain in-flight segments (through stage C)
+    // before segmentizing more, so post-rekey segments snapshot the new key.
+    bool pipeline_flush_pending() const noexcept { return flush_pending_; }
+
     // Wire size of the segment the next pump_one() would send (what a
     // byte-metered scheduler charges before granting), 0 when idle/failed.
     std::size_t next_wire_bytes() const {
@@ -486,6 +628,7 @@ private:
             bytes_since_rekey_ = 0;
             chain_->advance();
             ++sec_stats_.rekeys;
+            flush_pending_ = false;  // the predicted advance happened
             ILP_OBS_INSTANT("crypto", "rekey");
         }
     }
@@ -500,6 +643,10 @@ private:
     std::optional<Cipher> control_cipher_;
     secure_flow_stats sec_stats_;
     std::uint64_t bytes_since_rekey_ = 0;
+    // Stage-A mirror of bytes_since_rekey_ (counts reserved-but-uncompleted
+    // segments too) and the drain flag it raises at each predicted advance.
+    std::uint64_t predicted_bytes_since_rekey_ = 0;
+    bool flush_pending_ = false;
     std::uint32_t request_isn_;
     tcp::tcp_receiver<Mem> request_rx_;
     tcp::tcp_sender<Mem> reply_tx_;

@@ -114,6 +114,47 @@ struct secure_flow_stats {
 // ---------------------------------------------------------------------------
 // Secure send paths
 
+// The fused aead-encrypt+tag+checksum loop over one secure message plus its
+// clear [epoch | tag] trailer, writing directly into a (reserved) TCP ring
+// span; returns the folded checksum over body and trailer.  Shared verbatim
+// by the serial secure send path below and the pipelined dataplane's fused
+// stage, so both produce bit-identical ring contents.
+template <memsim::memory_policy Mem, crypto::aead_capable Cipher>
+std::uint16_t fill_message_secure_ilp(const Mem& mem, const Cipher& cipher,
+                                      crypto::key_epoch epoch,
+                                      const core::gather_source& src,
+                                      const core::message_plan& plan,
+                                      const ring_span& dst) {
+    const std::size_t body_bytes = plan.total_bytes;
+    checksum::inet_accumulator acc;
+    crypto::aead_tag_accumulator tag;
+    core::aead_encrypt_stage<Cipher> encrypt(cipher, tag);
+    core::checksum_tap8 tap(acc);
+    auto loop = core::make_pipeline(encrypt, tap);
+    static_assert(!decltype(loop)::ordering_constrained,
+                  "out-of-order parts require unconstrained stages");
+    ILP_EXPECT(plan.well_formed() &&
+               plan.aligned_for(decltype(loop)::required_alignment));
+    const core::scatter_dest ring = core::ring_dest(dst);
+    for (const core::message_part& part : plan.ilp_order()) {
+        if (part.empty()) continue;
+        ILP_OBS_SPAN("core", "fused_part");
+        loop.run(mem, src.slice(part.offset, part.len),
+                 ring.slice(part.offset, part.len));
+    }
+    // Clear trailer: epoch + folded tag, still covered by the TCP
+    // checksum via the copy mini-loop's tap.
+    alignas(8) std::byte trailer[rpc::secure_trailer_bytes];
+    rpc::encode_secure_trailer({.key_epoch = epoch, .tag = tag.fold()},
+                               trailer);
+    core::opaque_stage copy;
+    core::checksum_tap8 trailer_tap(acc);
+    auto trailer_loop = core::make_pipeline(copy, trailer_tap);
+    trailer_loop.run(mem, core::span_source({trailer, sizeof trailer}),
+                     ring.slice(body_bytes, rpc::secure_trailer_bytes));
+    return acc.folded();
+}
+
 // ILP: one fused pass (aead encrypt+tag, checksum tap) over the message
 // parts in B,C,A order, then the 8-byte trailer staged locally and pushed
 // through a 2-stage mini-loop so the checksum tap covers it too.
@@ -129,34 +170,7 @@ bool send_message_secure_ilp(tcp::tcp_sender<Mem>& sender, const Mem& mem,
     ILP_OBS_SPAN("app", "send_secure_ilp");
     const bool sent = sender.send_message(
         wire_bytes, [&](const ring_span& dst) -> std::optional<std::uint16_t> {
-            checksum::inet_accumulator acc;
-            crypto::aead_tag_accumulator tag;
-            core::aead_encrypt_stage<Cipher> encrypt(cipher, tag);
-            core::checksum_tap8 tap(acc);
-            auto loop = core::make_pipeline(encrypt, tap);
-            static_assert(!decltype(loop)::ordering_constrained,
-                          "out-of-order parts require unconstrained stages");
-            ILP_EXPECT(plan.well_formed() &&
-                       plan.aligned_for(decltype(loop)::required_alignment));
-            const core::scatter_dest ring = core::ring_dest(dst);
-            for (const core::message_part& part : plan.ilp_order()) {
-                if (part.empty()) continue;
-                ILP_OBS_SPAN("core", "fused_part");
-                loop.run(mem, src.slice(part.offset, part.len),
-                         ring.slice(part.offset, part.len));
-            }
-            // Clear trailer: epoch + folded tag, still covered by the TCP
-            // checksum via the copy mini-loop's tap.
-            alignas(8) std::byte trailer[rpc::secure_trailer_bytes];
-            rpc::encode_secure_trailer(
-                {.key_epoch = epoch, .tag = tag.fold()}, trailer);
-            core::opaque_stage copy;
-            core::checksum_tap8 trailer_tap(acc);
-            auto trailer_loop = core::make_pipeline(copy, trailer_tap);
-            trailer_loop.run(
-                mem, core::span_source({trailer, sizeof trailer}),
-                ring.slice(body_bytes, rpc::secure_trailer_bytes));
-            return acc.folded();
+            return fill_message_secure_ilp(mem, cipher, epoch, src, plan, dst);
         });
     if (!sent) return false;
     ++counters.messages;

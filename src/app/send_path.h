@@ -49,6 +49,37 @@ private:
     byte_buffer staging_;
 };
 
+// The fused marshal+encrypt+checksum loop over one message, writing
+// directly into a (reserved) TCP ring span in B,C,A part order; returns the
+// folded payload checksum.  Shared verbatim by the serial send path below
+// and the pipelined dataplane's fused stage (pipeline/stage_runner.h), so
+// both produce bit-identical ring contents.
+template <memsim::memory_policy Mem, crypto::block_cipher Cipher>
+std::uint16_t fill_message_ilp(const Mem& mem, const Cipher& cipher,
+                               const core::gather_source& src,
+                               const core::message_plan& plan,
+                               const ring_span& dst) {
+    checksum::inet_accumulator acc;
+    core::encrypt_stage<Cipher> encrypt(cipher);
+    core::checksum_tap8 tap(acc);
+    auto loop = core::make_pipeline(encrypt, tap);
+    static_assert(!decltype(loop)::ordering_constrained,
+                  "out-of-order parts require unconstrained stages");
+    // Construction-time fusion-legality guard (analyzer rule R3): every
+    // part cut must respect the strictest stage alignment or a cipher
+    // block would straddle the cut.
+    ILP_EXPECT(plan.well_formed() &&
+               plan.aligned_for(decltype(loop)::required_alignment));
+    const core::scatter_dest ring = core::ring_dest(dst);
+    for (const core::message_part& part : plan.ilp_order()) {
+        if (part.empty()) continue;
+        ILP_OBS_SPAN("core", "fused_part");
+        loop.run(mem, src.slice(part.offset, part.len),
+                 ring.slice(part.offset, part.len));
+    }
+    return acc.folded();
+}
+
 // ILP send path.  Returns false when TCP has no buffer/window space — the
 // caller retries later; per §3.2.2 *all* manipulations are delayed until
 // the whole message fits ("we decided to perform all data manipulations
@@ -64,25 +95,7 @@ bool send_message_ilp(tcp::tcp_sender<Mem>& sender, const Mem& mem,
     ILP_OBS_SPAN("app", "send_ilp");
     const bool sent = sender.send_message(
         wire_bytes, [&](const ring_span& dst) -> std::optional<std::uint16_t> {
-            checksum::inet_accumulator acc;
-            core::encrypt_stage<Cipher> encrypt(cipher);
-            core::checksum_tap8 tap(acc);
-            auto loop = core::make_pipeline(encrypt, tap);
-            static_assert(!decltype(loop)::ordering_constrained,
-                          "out-of-order parts require unconstrained stages");
-            // Construction-time fusion-legality guard (analyzer rule R3):
-            // every part cut must respect the strictest stage alignment or
-            // a cipher block would straddle the cut.
-            ILP_EXPECT(plan.well_formed() &&
-                       plan.aligned_for(decltype(loop)::required_alignment));
-            const core::scatter_dest ring = core::ring_dest(dst);
-            for (const core::message_part& part : plan.ilp_order()) {
-                if (part.empty()) continue;
-                ILP_OBS_SPAN("core", "fused_part");
-                loop.run(mem, src.slice(part.offset, part.len),
-                         ring.slice(part.offset, part.len));
-            }
-            return acc.folded();
+            return fill_message_ilp(mem, cipher, src, plan, dst);
         });
     if (!sent) return false;
     ++counters.messages;

@@ -91,11 +91,17 @@ private:
 // churn stays in a small working set), and reports exhaustion as an explicit
 // error (nullopt) instead of the silent-overwrite UB path that handing the
 // same port to two flows used to be.
+//
+// Every operation is strictly O(1), allocation-free after construction: the
+// free list is reserved for the whole range up front (release can never
+// reallocate), and a per-port busy bitmap turns the releasing-a-free-port
+// programmer error into an O(1) contract check instead of a list scan.
 class port_allocator {
 public:
     port_allocator(std::uint16_t first, std::uint16_t last)
-        : first_(first), last_(last), next_(first) {
+        : first_(first), last_(last), next_(first), busy_(capacity(), 0) {
         ILP_EXPECT(first <= last);
+        free_.reserve(capacity());
     }
 
     // Next free port, or nullopt when the range is exhausted.
@@ -104,26 +110,35 @@ public:
             const std::uint16_t p = free_.back();
             free_.pop_back();
             ++allocated_;
+            busy_[p - first_] = 1;
             return p;
         }
         if (next_ > last_) return std::nullopt;
         ++allocated_;
-        return next_++;
+        const std::uint16_t p = static_cast<std::uint16_t>(next_++);
+        busy_[p - first_] = 1;
+        return p;
     }
 
     // Returns a port to the pool.  Releasing a port that was never handed
-    // out is a programmer error.
+    // out — including a double release — is a programmer error.
     void release(std::uint16_t port) {
         ILP_EXPECT(port >= first_ && port < next_);
+        ILP_EXPECT(busy_[port - first_] != 0);
         ILP_EXPECT(allocated_ > 0);
         --allocated_;
-        free_.push_back(port);
+        busy_[port - first_] = 0;
+        free_.push_back(port);  // never reallocates: reserved to capacity()
     }
 
     std::size_t capacity() const noexcept {
         return static_cast<std::size_t>(last_ - first_) + 1;
     }
     std::size_t allocated() const noexcept { return allocated_; }
+    // Structural O(1) witnesses for the churn microbench: the free list must
+    // keep its construction-time reservation through any churn pattern.
+    std::size_t free_list_capacity() const noexcept { return free_.capacity(); }
+    std::size_t free_list_size() const noexcept { return free_.size(); }
 
 private:
     std::uint16_t first_;
@@ -131,6 +146,7 @@ private:
     std::uint32_t next_;  // wider than uint16_t so next_ > last_ can hold
     std::size_t allocated_ = 0;
     std::vector<std::uint16_t> free_;
+    std::vector<std::uint8_t> busy_;  // 1 = currently handed out
 };
 
 }  // namespace ilp::net

@@ -1,0 +1,79 @@
+// Fixed-capacity single-producer/single-consumer ring.
+//
+// The pipelined dataplane (pipeline/stage_runner.h) connects its stages with
+// these rings: stage A (segmentize, shard thread) produces slots, stage B
+// (the fused data-manipulation loop, optionally a worker thread) consumes
+// and re-produces them, stage C (commit/bookkeeping, shard thread) drains.
+//
+// Contract:
+//   * capacity is a power of two, fixed at construction — no allocation
+//     ever happens after the constructor returns,
+//   * exactly one producer thread calls try_push and one consumer thread
+//     calls try_pop; head/tail are monotone 64-bit counters published with
+//     release stores and read with acquire loads, so the slot payload
+//     written before a push happens-before the pop that returns it,
+//   * full/empty are detected from the counter distance; the ring never
+//     overwrites and never blocks — callers own the wait policy (the
+//     stage_runner counts those waits as pipeline.ring.{full,empty}_waits).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace ilp::pipeline {
+
+template <typename T>
+class spsc_ring {
+public:
+    explicit spsc_ring(std::size_t capacity)
+        : slots_(capacity), mask_(capacity - 1) {
+        ILP_EXPECT(capacity > 0 && (capacity & (capacity - 1)) == 0);
+    }
+
+    spsc_ring(const spsc_ring&) = delete;
+    spsc_ring& operator=(const spsc_ring&) = delete;
+
+    std::size_t capacity() const noexcept { return slots_.size(); }
+
+    // Producer side.  False when the ring is full (consumer lagging).
+    bool try_push(const T& value) {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        if (tail - head == slots_.size()) return false;
+        slots_[tail & mask_] = value;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    // Consumer side.  False when the ring is empty (producer lagging).
+    bool try_pop(T& out) {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail) return false;
+        out = slots_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    // Approximate across threads (each side sees its own counter exactly).
+    std::size_t size() const noexcept {
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(tail - head);
+    }
+    bool empty() const noexcept { return size() == 0; }
+    bool full() const noexcept { return size() == slots_.size(); }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+    // Separate cache lines so producer and consumer don't false-share.
+    alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+    alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace ilp::pipeline

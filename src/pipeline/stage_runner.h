@@ -1,0 +1,207 @@
+// Intra-flow stage pipelining over SPSC rings.
+//
+// The TCP segment path decomposes into three stages with distinct state
+// classes (Laminar/FlexTOE-style dataflow TCP, PAPERS.md):
+//
+//   A  segmentize   — job bookkeeping, reply layout, TCP ring/window
+//                     reservation.  Owns job queues and sequence space.
+//                     Always on the shard thread.
+//   B  fused loop   — marshal + encrypt + checksum in ONE stage.  The source
+//                     paper's whole point is that these data manipulations
+//                     stay integrated (one read of application memory, one
+//                     write into the TCP ring); pipelining happens *around*
+//                     the loop, never inside it.  Owns only the slot it was
+//                     handed — no shared protocol state — so it may run on a
+//                     dedicated worker thread.
+//   C  complete     — FIFO commit into the retransmission queue, transmit,
+//                     counters, rekey bookkeeping.  Owns TCP/scheduler/crypto
+//                     state.  Always on the shard thread.
+//
+// The stage_runner owns a fixed pool of `depth` slots and two spsc_rings
+// (A->B and B->C).  Slots always complete in submission order — the rings
+// are FIFO and the worker processes them in order — which is what lets the
+// completion stage commit segments with strictly increasing sequence
+// numbers and keeps pipelined runs bit-identical to serial ones.
+//
+// Inline mode (threaded=false) steps the same rings on the caller's thread:
+// identical data flow, zero concurrency — the mode used under sim_memory so
+// per-stage memsim attribution stays single-threaded, and the determinism
+// baseline the threaded mode is tested against.
+//
+// Stall accounting: acquire() failing (pool exhausted — producer found the
+// pipeline full) and next_done() having to wait on the worker (consumer
+// found the done ring empty) are the two ring stalls, exported fleet-wide
+// as pipeline.ring.{full_waits,empty_waits} and visible per stage in
+// `ilp-trace summarize --per-stage-worker`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/tracer.h"
+#include "pipeline/spsc_ring.h"
+#include "util/contracts.h"
+
+namespace ilp::pipeline {
+
+struct ring_stall_stats {
+    std::uint64_t full_waits = 0;   // producer found the pipeline full
+    std::uint64_t empty_waits = 0;  // consumer waited on the fused stage
+    std::uint64_t segments = 0;     // slots through the full A->B->C path
+    std::uint64_t batches = 0;      // scheduler-grant batches submitted
+};
+
+template <typename Slot>
+class stage_runner {
+public:
+    using fuse_fn = void (*)(Slot&);
+
+    // `depth` slots (power of two — it sizes the rings), `fuse` is stage B.
+    stage_runner(std::size_t depth, bool threaded, fuse_fn fuse)
+        : pool_(depth),
+          free_(),
+          to_fuse_(depth),
+          done_(depth),
+          fuse_(fuse),
+          threaded_(threaded) {
+        ILP_EXPECT(fuse != nullptr);
+        free_.reserve(depth);
+        for (Slot& s : pool_) free_.push_back(&s);
+        if (threaded_) {
+            worker_ = std::thread([this] { worker_loop(); });
+        }
+    }
+
+    stage_runner(const stage_runner&) = delete;
+    stage_runner& operator=(const stage_runner&) = delete;
+
+    ~stage_runner() {
+        if (threaded_) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                stop_ = true;
+            }
+            work_cv_.notify_one();
+            worker_.join();
+        }
+    }
+
+    std::size_t depth() const noexcept { return pool_.size(); }
+    bool threaded() const noexcept { return threaded_; }
+    bool outstanding() const noexcept { return submitted_ != 0; }
+
+    // Stage A: claim a free slot, or nullptr when the pipeline is full (the
+    // producer stall — complete the oldest slot to make room).
+    Slot* acquire() {
+        if (free_.empty()) {
+            ++stats_.full_waits;
+            ILP_OBS_INSTANT("pipeline", "ring_full_wait");
+            return nullptr;
+        }
+        Slot* s = free_.back();
+        free_.pop_back();
+        return s;
+    }
+
+    // Returns an acquired slot that was never submitted (segmentize failed).
+    void recycle(Slot* s) { free_.push_back(s); }
+
+    // Stage A -> B handoff.  The pool bound guarantees ring space.
+    void submit(Slot* s) {
+        const bool pushed = to_fuse_.try_push(s);
+        ILP_ENSURE(pushed);  // outstanding <= depth == ring capacity
+        ++submitted_;
+        if (threaded_) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+            }
+            work_cv_.notify_one();
+        }
+    }
+
+    void note_batch() { ++stats_.batches; }
+
+    // Next completed slot in FIFO submission order; nullptr when nothing is
+    // outstanding.  Inline mode runs stage B here on the caller's thread;
+    // threaded mode blocks on the worker when the done ring is empty (the
+    // consumer stall).
+    Slot* next_done() {
+        if (submitted_ == 0) return nullptr;
+        Slot* s = nullptr;
+        if (threaded_) {
+            if (!done_.try_pop(s)) {
+                ++stats_.empty_waits;
+                ILP_OBS_INSTANT("pipeline", "ring_empty_wait");
+                std::unique_lock<std::mutex> lock(mutex_);
+                done_cv_.wait(lock, [this] { return !done_.empty(); });
+                const bool popped = done_.try_pop(s);
+                ILP_ENSURE(popped);  // sole consumer
+            }
+        } else {
+            if (!done_.try_pop(s)) {
+                const bool popped = to_fuse_.try_pop(s);
+                ILP_ENSURE(popped);  // submitted_ > 0 and done_ was empty
+                {
+                    ILP_OBS_SPAN("pipeline", "fused_loop");
+                    fuse_(*s);
+                }
+                const bool requeued = done_.try_push(s);
+                ILP_ENSURE(requeued);
+                const bool redrained = done_.try_pop(s);
+                ILP_ENSURE(redrained);
+            }
+        }
+        --submitted_;
+        ++stats_.segments;
+        return s;
+    }
+
+    // Stage C done: the slot returns to the pool.
+    void release(Slot* s) { free_.push_back(s); }
+
+    const ring_stall_stats& stats() const noexcept { return stats_; }
+
+private:
+    void worker_loop() {
+        // No tracer travels to the worker (the ILP_OBS macros no-op on
+        // threads without one) — stage B runs bare, which is exactly why
+        // threaded mode is only eligible under direct_memory.
+        for (;;) {
+            Slot* s = nullptr;
+            if (to_fuse_.try_pop(s)) {
+                fuse_(*s);
+                const bool pushed = done_.try_push(s);
+                ILP_ENSURE(pushed);
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                }
+                done_cv_.notify_one();
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !to_fuse_.empty(); });
+            if (stop_ && to_fuse_.empty()) return;
+        }
+    }
+
+    std::vector<Slot> pool_;  // stable addresses: slots travel by pointer
+    std::vector<Slot*> free_;  // shard-thread-only free list
+    spsc_ring<Slot*> to_fuse_;  // stage A -> stage B
+    spsc_ring<Slot*> done_;     // stage B -> stage C
+    fuse_fn fuse_;
+    bool threaded_;
+    std::size_t submitted_ = 0;  // slots between submit() and next_done()
+    ring_stall_stats stats_;
+    std::thread worker_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    bool stop_ = false;
+};
+
+}  // namespace ilp::pipeline

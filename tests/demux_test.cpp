@@ -135,6 +135,55 @@ TEST(PortAllocator, HandsOutDistinctPortsAcrossChurn) {
     }
 }
 
+// High-churn microbench assertion: the allocator promises strictly O(1),
+// allocation-free operation after construction.  The structural witness is
+// the free list's capacity — reserved for the whole range in the ctor — which
+// must survive any churn pattern unchanged (a push_back that grew the vector
+// would change it).  The busy bitmap keeps double-release detection O(1).
+TEST(PortAllocator, ChurnNeverReallocatesTheFreeList) {
+    port_allocator ports(1'000, 1'999);  // 1000-port range
+    const std::size_t reserved = ports.free_list_capacity();
+    EXPECT_GE(reserved, ports.capacity());
+
+    std::vector<std::uint16_t> live;
+    live.reserve(ports.capacity());
+    // Fill the whole range, drain it completely, then churn at varying
+    // occupancy: every shape the engine's open/finish cycle can produce.
+    while (auto p = ports.allocate()) live.push_back(*p);
+    EXPECT_EQ(ports.allocated(), ports.capacity());
+    while (!live.empty()) {
+        ports.release(live.back());
+        live.pop_back();
+    }
+    EXPECT_EQ(ports.allocated(), 0u);
+    EXPECT_EQ(ports.free_list_size(), ports.capacity());
+
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t target = 1 + (round * 7) % ports.capacity();
+        while (ports.allocated() < target) {
+            const auto p = ports.allocate();
+            ASSERT_TRUE(p.has_value());
+            live.push_back(*p);
+        }
+        const std::size_t keep = target / 2;
+        while (live.size() > keep) {
+            ports.release(live.back());
+            live.pop_back();
+        }
+        // O(1) witness: same reservation as at construction, every round.
+        ASSERT_EQ(ports.free_list_capacity(), reserved);
+    }
+    EXPECT_EQ(ports.allocated(), live.size());
+}
+
+TEST(PortAllocatorDeathTest, DoubleReleaseIsCaughtInConstantTime) {
+    port_allocator ports(50, 59);
+    const auto p = ports.allocate();
+    ASSERT_TRUE(p.has_value());
+    ports.release(*p);
+    EXPECT_DEATH(ports.release(*p), "busy_");
+}
+
 TEST(PortDemux, TwoConnectionsShareOnePipe) {
     // Two independent unidirectional TCP connections (distinct port pairs)
     // multiplexed over a single forward pipe and a single reverse pipe,

@@ -1,0 +1,124 @@
+// SPSC ring unit tests: the lock-free queue under the pipelined dataplane.
+//
+// Covers the single-threaded protocol (full/empty/wrap, capacity-1 edge),
+// the power-of-two capacity contract (death test), and a threaded
+// producer/consumer run — the latter is the TSan target that pins down the
+// acquire/release pairing between try_push and try_pop.
+#include "pipeline/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace ilp::pipeline {
+namespace {
+
+TEST(SpscRing, StartsEmptyFillsToCapacityDrainsInOrder) {
+    spsc_ring<int> ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.full());
+    EXPECT_EQ(ring.size(), 0u);
+
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+    EXPECT_TRUE(ring.full());
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_FALSE(ring.try_push(99));  // full: rejected, not overwritten
+
+    for (int i = 0; i < 4; ++i) {
+        int out = -1;
+        ASSERT_TRUE(ring.try_pop(out));
+        EXPECT_EQ(out, i);  // FIFO
+    }
+    EXPECT_TRUE(ring.empty());
+    int out = -1;
+    EXPECT_FALSE(ring.try_pop(out));  // empty: rejected
+}
+
+// Push/pop far past capacity so head/tail wrap the index mask many times;
+// FIFO order and the full/empty predicates must hold at every offset.
+TEST(SpscRing, WrapsAroundTheMaskWithoutLosingOrder) {
+    spsc_ring<std::uint64_t> ring(8);
+    std::uint64_t next_in = 0, next_out = 0;
+    for (int round = 0; round < 100; ++round) {
+        // Interleave bursts of different sizes to land on every phase.
+        const std::size_t burst = 1 + (round % 8);
+        for (std::size_t i = 0; i < burst; ++i) {
+            ASSERT_TRUE(ring.try_push(next_in));
+            ++next_in;
+        }
+        for (std::size_t i = 0; i < burst; ++i) {
+            std::uint64_t out = ~0ull;
+            ASSERT_TRUE(ring.try_pop(out));
+            EXPECT_EQ(out, next_out);
+            ++next_out;
+        }
+    }
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(next_in, next_out);
+}
+
+// Capacity 1 is a legal power of two: the ring degenerates to a mailbox
+// that is full after one push and empty after one pop.
+TEST(SpscRing, CapacityOneIsAMailbox) {
+    spsc_ring<int> ring(1);
+    EXPECT_EQ(ring.capacity(), 1u);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_TRUE(ring.try_push(i));
+        EXPECT_TRUE(ring.full());
+        EXPECT_FALSE(ring.try_push(i + 1000));
+        int out = -1;
+        ASSERT_TRUE(ring.try_pop(out));
+        EXPECT_EQ(out, i);
+        EXPECT_TRUE(ring.empty());
+    }
+}
+
+TEST(SpscRingDeathTest, RejectsNonPowerOfTwoCapacity) {
+    EXPECT_DEATH(spsc_ring<int>(3), "capacity");
+    EXPECT_DEATH(spsc_ring<int>(0), "capacity");
+    EXPECT_DEATH(spsc_ring<int>(12), "capacity");
+}
+
+// One producer thread, one consumer thread, a ring much smaller than the
+// item count (so both full and empty races are exercised).  Every item must
+// arrive exactly once, in order.  This test is the TSan target for the
+// ring's memory ordering.
+TEST(SpscRing, ThreadedProducerConsumerPreservesFifo) {
+    constexpr std::uint32_t kItems = 20'000;
+    spsc_ring<std::uint32_t> ring(16);
+    std::vector<std::uint32_t> received;
+    received.reserve(kItems);
+
+    std::thread producer([&ring] {
+        for (std::uint32_t i = 0; i < kItems;) {
+            if (ring.try_push(i)) {
+                ++i;
+            } else {
+                std::this_thread::yield();  // full: let the consumer run
+            }
+        }
+    });
+    std::thread consumer([&ring, &received] {
+        while (received.size() < kItems) {
+            std::uint32_t out = 0;
+            if (ring.try_pop(out)) {
+                received.push_back(out);
+            } else {
+                std::this_thread::yield();  // empty: let the producer run
+            }
+        }
+    });
+    producer.join();
+    consumer.join();
+
+    ASSERT_EQ(received.size(), kItems);
+    for (std::uint32_t i = 0; i < kItems; ++i) ASSERT_EQ(received[i], i);
+    EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace ilp::pipeline
